@@ -1,0 +1,238 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment end to end
+// and reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. The default scale is 0.1 (a tenth of the
+// paper's memory sizes and timeline, preserving every shape); set
+// AGILEMIG_BENCH_SCALE=1.0 to run at full paper scale (several wall-clock
+// minutes per figure).
+package agilemig
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"agilemig/internal/cluster"
+	"agilemig/internal/core"
+	"agilemig/internal/experiments"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("AGILEMIG_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.1
+}
+
+// benchPressure runs the Figures 4-6 timeline for one technique.
+func benchPressure(b *testing.B, tech core.Technique) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultPressureConfig(tech)
+		cfg.Scale = benchScale()
+		cfg.Seed = uint64(i + 1)
+		r := experiments.RunPressureTimeline(cfg)
+		if r.Migration != nil {
+			b.ReportMetric(r.Migration.TotalSeconds, "migration-s")
+			b.ReportMetric(float64(r.Migration.BytesTransferred)/1e6, "MB-transferred")
+		}
+		if r.RecoverySeconds > 0 {
+			b.ReportMetric(r.RecoverySeconds, "recovery-s")
+		}
+		b.ReportMetric(r.PeakOps, "peak-ops/s")
+	}
+}
+
+// BenchmarkFig4PressureTimelinePrecopy regenerates Figure 4: average YCSB
+// throughput across 4 VMs while one migrates with pre-copy.
+func BenchmarkFig4PressureTimelinePrecopy(b *testing.B) { benchPressure(b, core.PreCopy) }
+
+// BenchmarkFig5PressureTimelinePostcopy regenerates Figure 5 (post-copy).
+func BenchmarkFig5PressureTimelinePostcopy(b *testing.B) { benchPressure(b, core.PostCopy) }
+
+// BenchmarkFig6PressureTimelineAgile regenerates Figure 6 (Agile), whose
+// recovery time is the paper's headline (215 s vs 533/294 s).
+func BenchmarkFig6PressureTimelineAgile(b *testing.B) { benchPressure(b, core.Agile) }
+
+// sweepSizes returns a reduced sweep for benchmarking (the end points and
+// the host-size crossover that define the figures' shape).
+func sweepSizes() []int64 {
+	return []int64{2 * cluster.GiB, 6 * cluster.GiB, 12 * cluster.GiB}
+}
+
+// BenchmarkFig7MigrationTimeVsSize regenerates Figure 7: total migration
+// time for an idle and a busy VM as the VM outgrows the 6 GB host.
+func BenchmarkFig7MigrationTimeVsSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultSizeSweepConfig()
+		cfg.Scale = benchScale()
+		cfg.VMSizes = sweepSizes()
+		rows := experiments.RunSizeSweep(cfg)
+		for _, r := range rows {
+			if r.VMBytes == 12*cluster.GiB && r.Completed {
+				b.ReportMetric(r.TotalSeconds, r.Technique.String()+"-12GB-s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8DataVsSize regenerates Figure 8: data transferred vs VM
+// size — linear for pre-/post-copy, flat past the host size for Agile.
+func BenchmarkFig8DataVsSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultSizeSweepConfig()
+		cfg.Scale = benchScale()
+		cfg.VMSizes = sweepSizes()
+		cfg.Busy = false // idle variant isolates the data-volume shape
+		rows := experiments.RunSizeSweep(cfg)
+		for _, r := range rows {
+			if r.VMBytes == 12*cluster.GiB {
+				b.ReportMetric(r.DataMB, r.Technique.String()+"-12GB-MB")
+			}
+		}
+	}
+}
+
+// benchAppPerf runs one Tables I-III cell and reports all three numbers.
+func benchAppPerf(b *testing.B, wk experiments.WorkloadKind, tech core.Technique) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAppPerf(experiments.AppPerfConfig{
+			Workload: wk, Technique: tech, Scale: benchScale(), Seed: uint64(i + 1),
+		})
+		b.ReportMetric(r.AvgOpsPerSec, "tableI-ops/s")
+		if r.Migration != nil {
+			b.ReportMetric(r.Migration.TotalSeconds, "tableII-s")
+			b.ReportMetric(float64(r.Migration.BytesTransferred)/1e6, "tableIII-MB")
+		}
+	}
+}
+
+// BenchmarkTable1YCSBPrecopy .. BenchmarkTable1SysbenchAgile regenerate the
+// six cells of Tables I, II and III (each run yields all three tables'
+// numbers for its cell).
+func BenchmarkTable1YCSBPrecopy(b *testing.B) {
+	benchAppPerf(b, experiments.WorkloadYCSB, core.PreCopy)
+}
+
+// BenchmarkTable1YCSBPostcopy is the YCSB/post-copy cell.
+func BenchmarkTable1YCSBPostcopy(b *testing.B) {
+	benchAppPerf(b, experiments.WorkloadYCSB, core.PostCopy)
+}
+
+// BenchmarkTable1YCSBAgile is the YCSB/Agile cell.
+func BenchmarkTable1YCSBAgile(b *testing.B) {
+	benchAppPerf(b, experiments.WorkloadYCSB, core.Agile)
+}
+
+// BenchmarkTable1SysbenchPrecopy is the Sysbench/pre-copy cell.
+func BenchmarkTable1SysbenchPrecopy(b *testing.B) {
+	benchAppPerf(b, experiments.WorkloadSysbench, core.PreCopy)
+}
+
+// BenchmarkTable1SysbenchPostcopy is the Sysbench/post-copy cell.
+func BenchmarkTable1SysbenchPostcopy(b *testing.B) {
+	benchAppPerf(b, experiments.WorkloadSysbench, core.PostCopy)
+}
+
+// BenchmarkTable1SysbenchAgile is the Sysbench/Agile cell.
+func BenchmarkTable1SysbenchAgile(b *testing.B) {
+	benchAppPerf(b, experiments.WorkloadSysbench, core.Agile)
+}
+
+// BenchmarkFig9WSSTracking regenerates Figure 9: the tracker walking the
+// reservation down to the VM's 1.5 GB working set.
+func BenchmarkFig9WSSTracking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultWSSTrackConfig()
+		cfg.Scale = benchScale()
+		cfg.Seed = uint64(i + 1)
+		r := experiments.RunWSSTracking(cfg)
+		b.ReportMetric(r.FinalReservationMB, "final-reservation-MB")
+		b.ReportMetric(r.DatasetMB, "working-set-MB")
+	}
+}
+
+// BenchmarkFig10WSSThroughput regenerates Figure 10: YCSB throughput while
+// the reservation adapts (transient dips, quick recovery).
+func BenchmarkFig10WSSThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultWSSTrackConfig()
+		cfg.Scale = benchScale()
+		cfg.Seed = uint64(i + 1)
+		r := experiments.RunWSSTracking(cfg)
+		b.ReportMetric(r.MeanThroughputAfterConvergence, "steady-ops/s")
+		b.ReportMetric(r.PeakThroughput, "peak-ops/s")
+	}
+}
+
+// BenchmarkAblationActivePush quantifies why Agile pushes actively instead
+// of relying on demand paging alone.
+func BenchmarkAblationActivePush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationActivePush(benchScale(), uint64(i+1))
+		b.ReportMetric(r.WithPushSeconds, "with-push-s")
+		b.ReportMetric(float64(r.WithoutPushResidualPages), "demand-only-residual-pages")
+	}
+}
+
+// BenchmarkAblationRemoteSwap quantifies the portable per-VM swap device's
+// contribution (vs the VMware-style host-local swap).
+func BenchmarkAblationRemoteSwap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationRemoteSwap(benchScale(), uint64(i+1))
+		b.ReportMetric(r.AgileSeconds, "agile-s")
+		b.ReportMetric(r.NoRemoteSecs, "no-remote-swap-s")
+		b.ReportMetric(r.AgileMB, "agile-MB")
+		b.ReportMetric(r.NoRemoteMB, "no-remote-swap-MB")
+	}
+}
+
+// BenchmarkAblationPlacement compares load-aware and blind VMD placement.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationPlacement(uint64(i + 1))
+		b.ReportMetric(float64(r.LoadAwareRetries), "load-aware-retries")
+		b.ReportMetric(float64(r.BlindRetries), "blind-retries")
+	}
+}
+
+// BenchmarkScatterGatherEviction measures source-eviction time with a
+// constrained (quarter-speed) destination: the scenario the scatter-gather
+// technique exists for.
+func BenchmarkScatterGatherEviction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunScatterEviction(benchScale(), uint64(i+1))
+		for _, r := range rows {
+			b.ReportMetric(r.EvictSeconds, r.Technique.String()+"-evict-s")
+		}
+	}
+}
+
+// BenchmarkAblationAutoConverge compares pre-copy with and without
+// SDPS-style vCPU throttling on a write-heavy VM.
+func BenchmarkAblationAutoConverge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationAutoConverge(benchScale(), uint64(i+1))
+		b.ReportMetric(r.BaselineSeconds, "baseline-s")
+		b.ReportMetric(r.ThrottledSeconds, "throttled-s")
+		b.ReportMetric(r.BaselineOpsRate, "baseline-ops/s")
+		b.ReportMetric(r.ThrottledOpsRate, "throttled-ops/s")
+	}
+}
+
+// BenchmarkAblationWatermark measures trigger behaviour across watermark
+// gaps.
+func BenchmarkAblationWatermark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunAblationWatermark(uint64(i + 1))
+		for _, r := range rows {
+			b.ReportMetric(float64(r.Fired), "fired-gap"+strconv.FormatInt(r.GapBytes>>30, 10)+"GiB")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command agilesim reproduces the paper's evaluation. Each experiment id
+// corresponds to one table or figure of "Agile Live Migration of Virtual
+// Machines" (IPPS 2016); the output prints the same rows or series the
+// paper reports.
+//
+// Usage:
+//
+//	agilesim [-scale f] [-seed n] [-csv file] <experiment>
+//
+// Experiments:
+//
+//	fig4     YCSB throughput timeline during pre-copy migration
+//	fig5     YCSB throughput timeline during post-copy migration
+//	fig6     YCSB throughput timeline during Agile migration
+//	fig7     total migration time vs VM size (idle & busy, all techniques)
+//	fig8     data transferred vs VM size (same sweep)
+//	tables   Tables I-III (app performance, migration time, data volume)
+//	fig9     transparent WSS tracking (reservation over time)
+//	fig10    YCSB throughput while the reservation adapts
+//	ablation design-choice ablations (push, remote swap, placement, watermarks)
+//	all      everything above
+//
+// -scale 1.0 reproduces the paper's sizes (10 GB VMs, 23 GB hosts) and
+// takes several wall-clock minutes; -scale 0.25 preserves every shape at a
+// quarter of the size and a fraction of the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"agilemig/internal/cluster"
+	"agilemig/internal/core"
+	"agilemig/internal/dist"
+	"agilemig/internal/experiments"
+	"agilemig/internal/host"
+	"agilemig/internal/report"
+	"agilemig/internal/trace"
+	"agilemig/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "size/time scale factor (1.0 = paper scale)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	csvPath := flag.String("csv", "", "also write timeline series as CSV to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation demo report all\n")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	id := flag.Arg(0)
+	out := os.Stdout
+
+	var csvOut *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agilesim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+
+	runFig := func(tech core.Technique) {
+		cfg := experiments.DefaultPressureConfig(tech)
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		r := experiments.RunPressureTimeline(cfg)
+		r.Print(out)
+		if csvOut != nil {
+			if err := r.WriteCSV(csvOut); err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim: csv:", err)
+			}
+		}
+	}
+	runSweep := func() {
+		cfg := experiments.DefaultSizeSweepConfig()
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		rows := experiments.RunSizeSweep(cfg)
+		experiments.PrintSizeSweep(out, rows)
+	}
+	runTables := func() {
+		results := experiments.RunAppPerfTables(*scale, *seed)
+		experiments.PrintAppPerfTables(out, results)
+	}
+	runWSS := func() {
+		cfg := experiments.DefaultWSSTrackConfig()
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		r := experiments.RunWSSTracking(cfg)
+		r.Print(out)
+		if csvOut != nil {
+			if err := r.WriteCSV(csvOut); err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim: csv:", err)
+			}
+		}
+	}
+	runAblation := func() {
+		push := experiments.RunAblationActivePush(*scale, *seed)
+		remote := experiments.RunAblationRemoteSwap(*scale, *seed)
+		placement := experiments.RunAblationPlacement(*seed)
+		watermark := experiments.RunAblationWatermark(*seed)
+		experiments.PrintAblations(out, push, remote, placement, watermark)
+		experiments.PrintAutoConverge(out, experiments.RunAblationAutoConverge(*scale, *seed))
+		experiments.PrintScatterEviction(out, experiments.RunScatterEviction(*scale, *seed))
+	}
+
+	runDemo := func() {
+		// A single traced Agile migration, printing the Migration
+		// Manager's event log.
+		cfg := cluster.DefaultConfig()
+		cfg.HostRAMBytes = int64(float64(6*cluster.GiB) * *scale * 4)
+		cfg.IntermediateRAMBytes = int64(float64(16*cluster.GiB) * *scale * 4)
+		tb := cluster.New(cfg)
+		h := tb.DeployVM("demo", int64(float64(2*cluster.GiB)**scale*4), int64(float64(768*cluster.MiB)**scale*4), true)
+		h.LoadDataset(int64(float64(1536*cluster.MiB) * *scale * 4))
+		ccfg := workload.YCSB()
+		ccfg.MaxOpsPerSecond = 10_000
+		h.AttachClient(ccfg, dist.NewUniform(h.Store.Records()))
+		tb.RunSeconds(120 * *scale * 4)
+		tr := trace.New(0)
+		spec := core.Spec{
+			VM: h.VM, Source: tb.Source, Dest: tb.Dest,
+			DestReservationBytes: h.VM.Group().ReservationBytes(),
+			DestBackend:          host.VMDSwapBackend(h.NS, tb.Dest.VMDClient()),
+			Namespace:            h.NS,
+			Trace:                tr,
+		}
+		mig := core.Start(tb.Eng, tb.Net, core.Agile, spec)
+		for !mig.Done() {
+			tb.Eng.Step()
+		}
+		fmt.Fprintln(out, "Agile migration event trace:")
+		fmt.Fprint(out, tr.String())
+		fmt.Fprintln(out, mig.Result())
+	}
+
+	switch id {
+	case "fig4":
+		runFig(core.PreCopy)
+	case "fig5":
+		runFig(core.PostCopy)
+	case "fig6":
+		runFig(core.Agile)
+	case "fig7", "fig8":
+		runSweep()
+	case "table1", "table2", "table3", "tables":
+		runTables()
+	case "fig9", "fig10":
+		runWSS()
+	case "ablation", "ablations":
+		runAblation()
+	case "demo", "trace":
+		runDemo()
+	case "report":
+		report.Generate(out, report.Options{Scale: *scale, Seed: *seed,
+			Pressure: true, Sweep: true, Tables: true, WSS: true, Ablation: true})
+	case "all":
+		runFig(core.PreCopy)
+		runFig(core.PostCopy)
+		runFig(core.Agile)
+		runSweep()
+		runTables()
+		runWSS()
+		runAblation()
+	default:
+		fmt.Fprintf(os.Stderr, "agilesim: unknown experiment %q\n", id)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module agilemig
+
+go 1.22

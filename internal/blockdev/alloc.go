@@ -1,0 +1,80 @@
+package blockdev
+
+import "math/bits"
+
+// SlotAllocator hands out fixed-size slots on a shared device — the swap
+// partition's slot map. Per-VM VMD namespaces don't need one (there the
+// swap offset is simply the page number), but the shared SSD swap partition
+// that pre-copy and post-copy configurations use is shared by every VM on
+// the host, so each swapped-out page must claim a distinct slot.
+type SlotAllocator struct {
+	words []uint64 // 1 bit per slot; set = in use
+	n     uint32
+	used  uint32
+	next  uint32 // scan hint
+}
+
+// NewSlotAllocator returns an allocator over n slots.
+func NewSlotAllocator(n uint32) *SlotAllocator {
+	return &SlotAllocator{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the total number of slots.
+func (a *SlotAllocator) Cap() uint32 { return a.n }
+
+// Used returns the number of allocated slots.
+func (a *SlotAllocator) Used() uint32 { return a.used }
+
+// Alloc claims a free slot, returning its index and true, or 0 and false if
+// the device is full.
+func (a *SlotAllocator) Alloc() (uint32, bool) {
+	if a.used == a.n {
+		return 0, false
+	}
+	// Scan from the hint, wrapping once.
+	start := a.next / 64
+	nw := uint32(len(a.words))
+	for i := uint32(0); i < nw; i++ {
+		w := (start + i) % nw
+		inv := ^a.words[w]
+		if w == nw-1 && a.n%64 != 0 {
+			inv &= (1 << (a.n % 64)) - 1
+		}
+		if inv == 0 {
+			continue
+		}
+		bit := uint32(bits.TrailingZeros64(inv))
+		slot := w*64 + bit
+		a.words[w] |= 1 << bit
+		a.used++
+		a.next = slot + 1
+		if a.next >= a.n {
+			a.next = 0
+		}
+		return slot, true
+	}
+	return 0, false
+}
+
+// Free releases a slot. Freeing an unallocated slot panics: it means two
+// pages believed they owned the same swap slot, which would corrupt VM
+// memory on real hardware.
+func (a *SlotAllocator) Free(slot uint32) {
+	if slot >= a.n {
+		panic("blockdev: free of out-of-range slot")
+	}
+	w, m := slot/64, uint64(1)<<(slot%64)
+	if a.words[w]&m == 0 {
+		panic("blockdev: double free of swap slot")
+	}
+	a.words[w] &^= m
+	a.used--
+}
+
+// InUse reports whether the slot is allocated.
+func (a *SlotAllocator) InUse(slot uint32) bool {
+	if slot >= a.n {
+		return false
+	}
+	return a.words[slot/64]&(1<<(slot%64)) != 0
+}

@@ -1,0 +1,333 @@
+package blockdev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"agilemig/internal/sim"
+)
+
+func testDev(rate, iops int64) (*sim.Engine, *Device) {
+	eng := sim.NewEngine(1)
+	d := New(eng, Config{Name: "ssd", BytesPerSecond: rate, IOPS: iops})
+	return eng, d
+}
+
+func TestReadCompletes(t *testing.T) {
+	eng, d := testDev(1_000_000, 100_000) // 1000 B/tick
+	done := false
+	d.Read(500, func() { done = true })
+	eng.Run(3)
+	if !done {
+		t.Fatal("read never completed")
+	}
+	if d.BytesRead() != 500 {
+		t.Fatalf("BytesRead = %d", d.BytesRead())
+	}
+}
+
+func TestBandwidthLimit(t *testing.T) {
+	eng, d := testDev(1_000_000, 1_000_000)
+	completed := 0
+	// 100 writes of 1000 bytes = 100 ticks of bandwidth.
+	for i := 0; i < 100; i++ {
+		d.Write(1000, func() { completed++ })
+	}
+	eng.Run(50)
+	if completed > 50 {
+		t.Fatalf("%d writes completed in 50 ticks at 1 req/tick bandwidth", completed)
+	}
+	eng.Run(120)
+	if completed != 100 {
+		t.Fatalf("only %d/100 writes completed after enough time", completed)
+	}
+}
+
+func TestIOPSLimit(t *testing.T) {
+	// Tiny requests, high bandwidth, low IOPS: completion rate bound by IOPS.
+	eng := sim.NewEngine(1)
+	d := New(eng, Config{Name: "hdd", BytesPerSecond: 1_000_000_000, IOPS: 1000}) // 1 op/tick
+	completed := 0
+	for i := 0; i < 100; i++ {
+		d.Read(64, func() { completed++ })
+	}
+	eng.Run(50)
+	// ~1 op per tick, plus a small startup credit burst allowance.
+	if completed > 60 {
+		t.Fatalf("%d ops completed in 50 ticks at 1 IOPS/tick", completed)
+	}
+	eng.Run(200)
+	if completed != 100 {
+		t.Fatalf("only %d/100 ops completed", completed)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	eng, d := testDev(1_000_000, 100_000)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		d.Read(800, func() { order = append(order, i) })
+	}
+	eng.Run(30)
+	if len(order) != 10 {
+		t.Fatalf("%d completions", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completions out of order: %v", order)
+		}
+	}
+}
+
+func TestLatencyDelaysCompletion(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, Config{Name: "ssd", BytesPerSecond: 1_000_000, IOPS: 100_000, Latency: 5})
+	var at sim.Time = -1
+	d.Read(100, func() { at = eng.Now() })
+	eng.Run(20)
+	// Served in tick 1, +5 latency => tick 6.
+	if at != 6 {
+		t.Fatalf("completion at %v, want 6", at)
+	}
+}
+
+func TestQueueDrainsCounterConsistency(t *testing.T) {
+	eng, d := testDev(10_000_000, 1_000_000)
+	var wrote, read int64
+	for i := 0; i < 50; i++ {
+		d.Write(4096, nil)
+		d.Read(4096, nil)
+		wrote += 4096
+		read += 4096
+	}
+	eng.Run(100)
+	if d.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", d.QueueLen())
+	}
+	if d.BytesWritten() != wrote || d.BytesRead() != read {
+		t.Fatalf("byte counters %d/%d, want %d/%d", d.BytesRead(), d.BytesWritten(), read, wrote)
+	}
+	r, w := d.Ops()
+	if r != 50 || w != 50 {
+		t.Fatalf("ops %d/%d", r, w)
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	_, d := testDev(1_000_000, 1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size request did not panic")
+		}
+	}()
+	d.Read(0, nil)
+}
+
+func TestOverloadQueueing(t *testing.T) {
+	eng, d := testDev(1_000_000, 100_000) // 1000 B/tick
+	var times []sim.Time
+	for i := 0; i < 20; i++ {
+		d.Read(4096, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run(200)
+	if len(times) != 20 {
+		t.Fatalf("%d completions", len(times))
+	}
+	// Each 4096-byte read takes ~4.1 ticks of bandwidth; the 20th should
+	// complete around tick 82, far later than the 1st — queueing delay.
+	if times[19]-times[0] < 60 {
+		t.Fatalf("no queueing delay visible: first %v last %v", times[0], times[19])
+	}
+}
+
+func TestSlotAllocatorExhaustion(t *testing.T) {
+	a := NewSlotAllocator(10)
+	seen := make(map[uint32]bool)
+	for i := 0; i < 10; i++ {
+		s, ok := a.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed early", i)
+		}
+		if seen[s] {
+			t.Fatalf("slot %d handed out twice", s)
+		}
+		seen[s] = true
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("alloc succeeded on full device")
+	}
+	if a.Used() != 10 {
+		t.Fatalf("Used = %d", a.Used())
+	}
+}
+
+func TestSlotAllocatorReuseAfterFree(t *testing.T) {
+	a := NewSlotAllocator(4)
+	s1, _ := a.Alloc()
+	a.Free(s1)
+	if a.Used() != 0 {
+		t.Fatalf("Used = %d after free", a.Used())
+	}
+	// All four must be allocatable again.
+	for i := 0; i < 4; i++ {
+		if _, ok := a.Alloc(); !ok {
+			t.Fatalf("alloc %d failed after free", i)
+		}
+	}
+}
+
+func TestSlotAllocatorDoubleFreePanics(t *testing.T) {
+	a := NewSlotAllocator(4)
+	s, _ := a.Alloc()
+	a.Free(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(s)
+}
+
+func TestSlotAllocatorNonWordSize(t *testing.T) {
+	// 70 slots spans a partial second word; the tail bits must not be
+	// allocatable beyond n.
+	a := NewSlotAllocator(70)
+	for i := 0; i < 70; i++ {
+		s, ok := a.Alloc()
+		if !ok || s >= 70 {
+			t.Fatalf("alloc %d -> slot %d ok=%v", i, s, ok)
+		}
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("allocated past capacity")
+	}
+}
+
+func TestSlotAllocatorProperty(t *testing.T) {
+	// Alloc/free in random interleavings never double-allocates and Used()
+	// always matches the live set size.
+	f := func(ops []bool) bool {
+		a := NewSlotAllocator(32)
+		live := make(map[uint32]bool)
+		for _, alloc := range ops {
+			if alloc {
+				s, ok := a.Alloc()
+				if !ok {
+					if len(live) != 32 {
+						return false
+					}
+					continue
+				}
+				if live[s] {
+					return false
+				}
+				live[s] = true
+			} else {
+				for s := range live {
+					a.Free(s)
+					delete(live, s)
+					break
+				}
+			}
+			if int(a.Used()) != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamsShareDeviceFairly(t *testing.T) {
+	eng, d := testDev(1_000_000, 1_000_000) // 1000 B/tick
+	a := d.NewStream("a")
+	b := d.NewStream("b")
+	var doneA, doneB int
+	for i := 0; i < 200; i++ {
+		a.Read(1000, func() { doneA++ })
+		b.Read(1000, func() { doneB++ })
+	}
+	eng.Run(100)
+	// ~100 ticks of capacity = ~100 completions, split evenly.
+	if doneA < 40 || doneB < 40 {
+		t.Fatalf("unfair split: a=%d b=%d", doneA, doneB)
+	}
+	if diff := doneA - doneB; diff < -5 || diff > 5 {
+		t.Fatalf("streams diverged: a=%d b=%d", doneA, doneB)
+	}
+}
+
+func TestBusyStreamCannotStarveNewcomer(t *testing.T) {
+	eng, d := testDev(1_000_000, 1_000_000)
+	hog := d.NewStream("hog")
+	for i := 0; i < 5000; i++ {
+		hog.Write(1000, nil)
+	}
+	eng.Run(50) // hog builds up a deep in-service history
+	late := d.NewStream("late")
+	completed := false
+	late.Read(1000, func() { completed = true })
+	eng.Run(60)
+	// Fair share: the newcomer's single request must complete within a few
+	// rotations, not behind the hog's 5000-deep queue.
+	if !completed {
+		t.Fatal("newcomer starved behind a deep queue")
+	}
+}
+
+func TestStreamFIFOWithinStream(t *testing.T) {
+	eng, d := testDev(1_000_000, 1_000_000)
+	s := d.NewStream("s")
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Read(500, func() { order = append(order, i) })
+	}
+	eng.Run(30)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("within-stream order violated: %v", order)
+		}
+	}
+	if s.QueueLen() != 0 {
+		t.Fatal("stream not drained")
+	}
+}
+
+func TestReadsPreemptWrites(t *testing.T) {
+	eng, d := testDev(1_000_000, 1_000_000) // 1000 B/tick
+	s := d.NewStream("s")
+	// A deep write backlog, then one read: the read must complete far
+	// before the writes drain (sync-read priority).
+	for i := 0; i < 500; i++ {
+		s.Write(1000, nil)
+	}
+	eng.Run(20)
+	var readDone sim.Time
+	s.Read(1000, func() { readDone = eng.Now() })
+	eng.Run(40)
+	if readDone == 0 {
+		t.Fatal("read starved behind the write backlog")
+	}
+	if readDone > 30 {
+		t.Fatalf("read completed at tick %d; writes were not preempted", readDone)
+	}
+}
+
+func TestWritesNotStarvedByReads(t *testing.T) {
+	eng, d := testDev(1_000_000, 1_000_000)
+	s := d.NewStream("s")
+	// Saturating read load plus a single write: the reserved write share
+	// must complete it promptly.
+	eng.AddTickerFunc(sim.PhaseWorkload, func(sim.Time) { s.Read(1000, nil) })
+	eng.Run(10)
+	var writeDone sim.Time
+	s.Write(1000, func() { writeDone = eng.Now() })
+	eng.Run(100)
+	if writeDone == 0 {
+		t.Fatal("write starved under continuous reads")
+	}
+}

@@ -1,0 +1,281 @@
+// Package cluster assembles the paper's three-host testbed (§V): a source
+// and a destination host, an intermediate host contributing memory to the
+// VMD, and an external client machine, all connected by 1 Gbps Ethernet.
+// It provides the orchestration the evaluation scenarios share: deploying
+// VMs with datasets and benchmark clients, migrating them with any of the
+// three techniques, and rebalancing reservations after a migration.
+package cluster
+
+import (
+	"fmt"
+
+	"agilemig/internal/blockdev"
+	"agilemig/internal/core"
+	"agilemig/internal/dist"
+	"agilemig/internal/guest"
+	"agilemig/internal/host"
+	"agilemig/internal/mem"
+	"agilemig/internal/sim"
+	"agilemig/internal/simnet"
+	"agilemig/internal/vmd"
+	"agilemig/internal/workload"
+	"agilemig/internal/wss"
+)
+
+// Byte-size helpers used throughout the scenarios.
+const (
+	KiB = int64(1) << 10
+	MiB = int64(1) << 20
+	GiB = int64(1) << 30
+)
+
+// GbpsBytes is 1 Gbps expressed in bytes per second.
+const GbpsBytes = int64(125_000_000)
+
+// Config shapes the testbed. DefaultConfig matches the paper's hardware.
+type Config struct {
+	Seed            uint64
+	HostRAMBytes    int64 // source and destination RAM
+	OSOverheadBytes int64
+	NetBytesPerSec  int64
+	// DestNetBytesPerSec overrides the destination host's NIC rate when
+	// non-zero (constrained-destination scenarios).
+	DestNetBytesPerSec   int64
+	NetLatency           sim.Duration
+	SSD                  blockdev.Config
+	SwapPartitionBytes   int64
+	Intermediates        int
+	IntermediateRAMBytes int64
+}
+
+// DefaultConfig returns the §V testbed: 23 GB hosts (boot-limited), 200 MB
+// host OS, 1 Gbps Ethernet, a 30 GB swap partition on a SATA-era SSD, and
+// one intermediate host for the VMD.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		HostRAMBytes:    23 * GiB,
+		OSOverheadBytes: 200 * MiB,
+		NetBytesPerSec:  GbpsBytes,
+		SSD: blockdev.Config{
+			Name: "crucial-ssd",
+			// Sustained mixed random 4K on a 2013-era 128 GB SATA SSD
+			// whose swap partition sees interleaved reads and writes:
+			// well below the datasheet sequential numbers.
+			BytesPerSecond: 90 * MiB,
+			IOPS:           10_000,
+		},
+		SwapPartitionBytes:   30 * GiB,
+		Intermediates:        1,
+		IntermediateRAMBytes: 100 * GiB,
+	}
+}
+
+// Testbed is the assembled cluster.
+type Testbed struct {
+	Cfg       Config
+	Eng       *sim.Engine
+	Net       *simnet.Network
+	Source    *host.Host
+	Dest      *host.Host
+	ClientNIC *simnet.NIC
+	VMD       *vmd.VMD
+
+	vms map[string]*VMHandle
+}
+
+// New builds a testbed.
+func New(cfg Config) *Testbed {
+	eng := sim.NewEngine(cfg.Seed)
+	net := simnet.New(eng)
+	tb := &Testbed{
+		Cfg: cfg,
+		Eng: eng,
+		Net: net,
+		vms: make(map[string]*VMHandle),
+	}
+	tb.Source = host.New(eng, net, host.Config{
+		Name: "source", RAMBytes: cfg.HostRAMBytes,
+		OSOverheadBytes: cfg.OSOverheadBytes, NetBytesPerSec: cfg.NetBytesPerSec,
+	})
+	destNet := cfg.NetBytesPerSec
+	if cfg.DestNetBytesPerSec > 0 {
+		destNet = cfg.DestNetBytesPerSec
+	}
+	tb.Dest = host.New(eng, net, host.Config{
+		Name: "dest", RAMBytes: cfg.HostRAMBytes,
+		OSOverheadBytes: cfg.OSOverheadBytes, NetBytesPerSec: destNet,
+	})
+	tb.Source.ConfigureSharedSwap(cfg.SSD, cfg.SwapPartitionBytes)
+	tb.Dest.ConfigureSharedSwap(cfg.SSD, cfg.SwapPartitionBytes)
+	tb.ClientNIC = net.NewNIC("clients", cfg.NetBytesPerSec)
+
+	tb.VMD = vmd.New(eng, net)
+	for i := 0; i < cfg.Intermediates; i++ {
+		nic := net.NewNIC(fmt.Sprintf("inter%d", i+1), cfg.NetBytesPerSec)
+		tb.VMD.AddServer(fmt.Sprintf("inter%d", i+1), nic, cfg.IntermediateRAMBytes/mem.PageSize)
+	}
+	tb.Source.SetVMDClient(tb.VMD.NewClient("source", tb.Source.NIC(), cfg.NetLatency))
+	tb.Dest.SetVMDClient(tb.VMD.NewClient("dest", tb.Dest.NIC(), cfg.NetLatency))
+	return tb
+}
+
+// RunSeconds advances simulated time.
+func (tb *Testbed) RunSeconds(s float64) { tb.Eng.RunSeconds(s) }
+
+// VMHandle bundles a deployed VM with its swap namespace, dataset, client
+// and migration state.
+type VMHandle struct {
+	tb         *Testbed
+	VM         *guest.VM
+	NS         *vmd.Namespace
+	Store      *workload.KVStore
+	Client     *workload.Client
+	Tracker    *wss.Tracker
+	Migration  *core.Migration
+	Result     *core.Result
+	useVMDSwap bool
+
+	srcFlows [2]*simnet.Flow // client <-> source
+	dstFlows [2]*simnet.Flow // client <-> dest
+}
+
+// DeployVM places a VM on the source host. With vmdSwap the VM gets a
+// private VMD namespace as its swap device (the Agile configuration);
+// otherwise it shares the source's SSD partition (the pre-/post-copy
+// configuration).
+func (tb *Testbed) DeployVM(name string, memBytes, reservationBytes int64, vmdSwap bool) *VMHandle {
+	if _, dup := tb.vms[name]; dup {
+		panic("cluster: duplicate VM " + name)
+	}
+	h := &VMHandle{tb: tb, useVMDSwap: vmdSwap}
+	h.VM = guest.New(tb.Eng, name, memBytes)
+	h.NS = tb.VMD.CreateNamespace(name, h.VM.Pages())
+	if vmdSwap {
+		h.NS.AttachTo(tb.Source.VMDClient())
+		tb.Source.AddVM(h.VM, reservationBytes, host.VMDSwapBackend(h.NS, tb.Source.VMDClient()))
+	} else {
+		tb.Source.AddVM(h.VM, reservationBytes, tb.Source.SharedSwapBackend())
+	}
+	h.VM.Resume()
+	tb.vms[name] = h
+	return h
+}
+
+// VMs returns all deployed handles (map keyed by VM name).
+func (tb *Testbed) VMs() map[string]*VMHandle { return tb.vms }
+
+// VMHandleOf returns the handle for a VM name, or nil.
+func (tb *Testbed) VMHandleOf(name string) *VMHandle { return tb.vms[name] }
+
+// LoadDataset lays a key-value dataset into the VM (1 KiB records) and
+// bulk-populates it. Run the simulation afterwards to let reclaim push the
+// excess to the swap device.
+func (h *VMHandle) LoadDataset(datasetBytes int64) *workload.KVStore {
+	// Leave the low ~3% of guest memory to the guest kernel and server
+	// binaries; the dataset sits above it.
+	offset := h.VM.MemBytes() / 32
+	offset -= offset % 4096
+	if offset+datasetBytes > h.VM.MemBytes() {
+		datasetBytes = h.VM.MemBytes() - offset
+	}
+	h.Store = workload.NewKVStore(h.VM, offset, datasetBytes, 1024)
+	h.Store.Load()
+	return h.Store
+}
+
+// AttachClient runs a benchmark client on the external client host against
+// the VM's dataset.
+func (h *VMHandle) AttachClient(cfg workload.ClientConfig, d dist.Dist) *workload.Client {
+	tb := h.tb
+	h.srcFlows[0] = tb.Net.NewFlow("app:req:"+h.VM.Name(), tb.ClientNIC, tb.Source.NIC(), tb.Cfg.NetLatency)
+	h.srcFlows[1] = tb.Net.NewFlow("app:resp:"+h.VM.Name(), tb.Source.NIC(), tb.ClientNIC, tb.Cfg.NetLatency)
+	h.Client = workload.NewClient(tb.Eng, cfg, h.Store, d, h.srcFlows[0], h.srcFlows[1], tb.Eng.RNG().Split())
+	return h.Client
+}
+
+// TrackWSS starts the transparent working-set tracker on the VM.
+func (h *VMHandle) TrackWSS(cfg wss.TrackerConfig) *wss.Tracker {
+	h.Tracker = wss.NewTracker(h.tb.Eng, h.VM.Group(), cfg)
+	return h.Tracker
+}
+
+// Migrate starts a live migration of the VM from source to dest with the
+// given technique and destination reservation. The benchmark client (if
+// any) retargets its flows at switchover, exactly as an external load
+// balancer would redirect traffic.
+func (tb *Testbed) Migrate(h *VMHandle, tech core.Technique, destReservationBytes int64) *core.Migration {
+	return tb.MigrateTuned(h, tech, destReservationBytes, core.Tuning{})
+}
+
+// MigrateTuned is Migrate with explicit engine tuning (used by the
+// ablation experiments).
+func (tb *Testbed) MigrateTuned(h *VMHandle, tech core.Technique, destReservationBytes int64, tun core.Tuning) *core.Migration {
+	var backend = tb.Dest.SharedSwapBackend()
+	if (tech == core.Agile || tech == core.ScatterGather || h.useVMDSwap) && !tun.NoRemoteSwap {
+		backend = host.VMDSwapBackend(h.NS, tb.Dest.VMDClient())
+	}
+	spec := core.Spec{
+		VM:                   h.VM,
+		Source:               tb.Source,
+		Dest:                 tb.Dest,
+		DestReservationBytes: destReservationBytes,
+		DestBackend:          backend,
+		Namespace:            h.NS,
+		Latency:              tb.Cfg.NetLatency,
+		Tuning:               tun,
+		OnSwitchover: func() {
+			if h.Client != nil {
+				h.dstFlows[0] = tb.Net.NewFlow("app:req2:"+h.VM.Name(), tb.ClientNIC, tb.Dest.NIC(), tb.Cfg.NetLatency)
+				h.dstFlows[1] = tb.Net.NewFlow("app:resp2:"+h.VM.Name(), tb.Dest.NIC(), tb.ClientNIC, tb.Cfg.NetLatency)
+				h.Client.SetFlows(h.dstFlows[0], h.dstFlows[1])
+			}
+		},
+		OnComplete: func(res *core.Result) { h.Result = res },
+	}
+	h.Migration = core.Start(tb.Eng, tb.Net, tech, spec)
+	return h.Migration
+}
+
+// RunUntilMigrated advances the simulation until the handle's migration
+// completes or the timeout (simulated seconds) elapses; it reports success.
+func (tb *Testbed) RunUntilMigrated(h *VMHandle, timeoutSeconds float64) bool {
+	if h.Migration == nil {
+		panic("cluster: no migration in progress for " + h.VM.Name())
+	}
+	deadline := tb.Eng.Now() + sim.Time(tb.Eng.SecondsToTicks(timeoutSeconds))
+	for tb.Eng.Now() < deadline && !h.Migration.Done() {
+		tb.Eng.Step()
+	}
+	return h.Migration.Done()
+}
+
+// RebalanceSource divides the source host's VM memory budget equally among
+// the VMs still hosted there, capped per VM — what the cluster manager
+// does once a migration has freed memory (§V-A: "the source host can
+// accommodate the remaining three VMs in its memory").
+func (tb *Testbed) RebalanceSource(perVMCapBytes int64) {
+	names := tb.Source.VMs()
+	if len(names) == 0 {
+		return
+	}
+	budget := tb.Cfg.HostRAMBytes - tb.Cfg.OSOverheadBytes
+	share := budget / int64(len(names))
+	if perVMCapBytes > 0 && share > perVMCapBytes {
+		share = perVMCapBytes
+	}
+	for _, n := range names {
+		tb.Source.Group(n).SetReservationBytes(share)
+	}
+}
+
+// AggregateOps sums completed operations across all deployed clients.
+func (tb *Testbed) AggregateOps() int64 {
+	var total int64
+	for _, h := range tb.vms {
+		if h.Client != nil {
+			total += h.Client.OpsCompleted()
+		}
+	}
+	return total
+}

@@ -1,0 +1,563 @@
+package core
+
+import (
+	"fmt"
+
+	"agilemig/internal/cgroup"
+	"agilemig/internal/guest"
+	"agilemig/internal/mem"
+	"agilemig/internal/sim"
+	"agilemig/internal/simnet"
+	"agilemig/internal/trace"
+)
+
+type phase int
+
+const (
+	phaseLive    phase = iota // VM at source: pre-copy rounds / Agile round 1
+	phaseSuspend              // VM suspended: stop-and-copy or switchover prep
+	phasePush                 // VM at destination: active push + demand paging
+	phaseDone
+)
+
+// Migration drives one live migration end to end. It models the Migration
+// Manager threads on both hosts; because the simulation is single-threaded,
+// one object can safely hold both ends' state, with the network flows
+// between them carrying every byte that would cross the wire.
+type Migration struct {
+	eng  *sim.Engine
+	net  *simnet.Network
+	spec Spec
+	tun  Tuning
+	tech Technique
+
+	vm       *guest.VM
+	nPages   int
+	srcTable *mem.Table
+	srcGroup *cgroup.Group
+
+	destTable *mem.Table
+	destGroup *cgroup.Group
+
+	pushFlow   *simnet.Flow // src -> dst: migration stream (pages, CPU state)
+	demandFlow *simnet.Flow // src -> dst: demand-page responses
+	ctrlFlow   *simnet.Flow // dst -> src: fault requests
+
+	state         phase
+	round         int
+	cursor        mem.PageID
+	prevRemaining int // dirty count at the previous round boundary
+	// roundBM is the current pre-copy round's to-send set (or Agile round 1
+	// = all pages). pushBM is the post-switchover push set.
+	roundBM *mem.Bitmap
+	pushBM  *mem.Bitmap
+	// knownUntouched marks pages the destination may treat as zero pages
+	// (Agile untouched records). offsetSent marks pages shipped by
+	// reference, so the suspend step can detect stale references.
+	knownUntouched *mem.Bitmap
+	offsetSent     *mem.Bitmap
+
+	faultInFlight     int // migration-driven swap-ins at the source
+	scatterInFlight   int // scatter-gather: VMD writes in flight
+	outstandingDemand int // demand responses in flight
+	pendingDemand     map[mem.PageID][]func()
+	srcDrained        bool
+	switched          bool
+
+	downtimeBase sim.Duration
+	result       Result
+	tr           *trace.Trace
+}
+
+// event records a trace event stamped with the current simulated time (a
+// nil trace costs one branch).
+func (m *Migration) event(kind trace.Kind, format string, args ...interface{}) {
+	m.tr.Add(m.eng.NowSeconds(), kind, format, args...)
+}
+
+// Start launches a migration and returns the handle. The VM must currently
+// run on spec.Source.
+func Start(eng *sim.Engine, net *simnet.Network, tech Technique, spec Spec) *Migration {
+	if spec.VM == nil || spec.Source == nil || spec.Dest == nil {
+		panic("core: incomplete migration spec")
+	}
+	if tech == Agile && spec.Namespace == nil && !spec.Tuning.NoRemoteSwap {
+		panic("core: Agile migration requires the VM's namespace")
+	}
+	if tech == ScatterGather && spec.Namespace == nil {
+		panic("core: scatter-gather migration requires the VM's namespace")
+	}
+	vm := spec.VM
+	m := &Migration{
+		eng:           eng,
+		net:           net,
+		spec:          spec,
+		tun:           spec.Tuning.withDefaults(),
+		tech:          tech,
+		vm:            vm,
+		nPages:        vm.Pages(),
+		srcTable:      vm.Table(),
+		srcGroup:      vm.Group(),
+		pendingDemand: make(map[mem.PageID][]func()),
+		downtimeBase:  vm.Downtime(),
+	}
+	m.tr = spec.Trace
+	m.result.Technique = tech
+	m.result.VMName = vm.Name()
+	m.result.Start = eng.Now()
+	m.event(trace.MigrationStart, "%s of %s: %d pages, %s -> %s",
+		tech, vm.Name(), m.nPages, spec.Source.Name(), spec.Dest.Name())
+
+	src, dst := spec.Source.NIC(), spec.Dest.NIC()
+	m.pushFlow = net.NewFlow("mig:push:"+vm.Name(), src, dst, spec.Latency)
+	m.demandFlow = net.NewFlow("mig:demand:"+vm.Name(), src, dst, spec.Latency)
+	m.ctrlFlow = net.NewFlow("mig:ctrl:"+vm.Name(), dst, src, spec.Latency)
+
+	// The destination KVM/QEMU process: a fresh table and cgroup. For
+	// Agile the reservation is clamped only at switchover (the per-VM swap
+	// device is still attached at the source, so the destination must not
+	// evict before then); pre/post-copy destinations evict to their own
+	// shared partition from the first received page.
+	m.destTable = mem.NewTable(m.nPages)
+	resv := spec.DestReservationBytes
+	if tech == Agile || tech == ScatterGather {
+		resv = vm.MemBytes()
+	}
+	m.destGroup = cgroup.New(eng, spec.Dest.Name()+"/"+vm.Name(), m.destTable, spec.DestBackend, resv)
+	spec.Dest.AdoptGroup(vm, m.destGroup)
+
+	switch tech {
+	case PreCopy:
+		m.roundBM = mem.NewBitmap(m.nPages)
+		m.roundBM.SetAll()
+		m.round = 1
+		m.result.Rounds = 1
+		m.state = phaseLive
+	case PostCopy:
+		// Suspend immediately; CPU state leads the stream, pages follow.
+		m.event(trace.Suspend, "immediate (post-copy)")
+		vm.Suspend()
+		m.pushBM = mem.NewBitmap(m.nPages)
+		m.pushBM.SetAll()
+		m.state = phasePush
+		m.pushFlow.SendMessage(m.tun.CPUStateBytes, m.switchover)
+	case Agile:
+		m.roundBM = mem.NewBitmap(m.nPages)
+		m.roundBM.SetAll()
+		m.knownUntouched = mem.NewBitmap(m.nPages)
+		m.offsetSent = mem.NewBitmap(m.nPages)
+		m.round = 1
+		m.result.Rounds = 1
+		m.state = phaseLive
+	case ScatterGather:
+		m.startScatterGather()
+	}
+	eng.AddTicker(sim.PhaseControl, m)
+	return m
+}
+
+// Result returns the migration's result so far; meaningful once Done.
+func (m *Migration) Result() *Result { return &m.result }
+
+// Done reports whether the source holds no VM state anymore.
+func (m *Migration) Done() bool { return m.state == phaseDone }
+
+// Switched reports whether execution has moved to the destination.
+func (m *Migration) Switched() bool { return m.switched }
+
+// Tick advances the engine's current phase.
+func (m *Migration) Tick(_ sim.Time) {
+	switch m.state {
+	case phaseLive, phaseSuspend:
+		if m.roundBM != nil {
+			m.pumpRound()
+		}
+	case phasePush:
+		if m.tech == ScatterGather {
+			m.pumpScatter()
+		} else {
+			m.pumpPush()
+		}
+	}
+}
+
+// pumpRound walks the current round's bitmap, respecting the send window
+// and the swap-in concurrency bound.
+func (m *Migration) pumpRound() {
+	budget := m.tun.PumpPagesPerTick
+	for budget > 0 {
+		if m.pushFlow.Backlog() >= m.tun.WindowBytes {
+			return
+		}
+		p := m.roundBM.NextSet(m.cursor)
+		if p == mem.NoPage {
+			if m.faultInFlight > 0 {
+				return // stragglers still swapping in
+			}
+			m.endRound()
+			return
+		}
+		m.cursor = p + 1
+		m.roundBM.Clear(p)
+		st := m.srcTable.State(p)
+		switch m.tech {
+		case PreCopy:
+			if st.OnSwap() {
+				// §II: swapped pages must be brought back into memory
+				// before they can be transferred.
+				if m.faultInFlight >= m.tun.MaxSwapInFlight {
+					m.roundBM.Set(p)
+					m.cursor = p
+					return
+				}
+				m.swapInAndSend(p, m.roundBM, false)
+			} else {
+				m.sendFullPage(p, false)
+			}
+		case Agile:
+			// §IV-E: consult the pagemap; swapped pages travel as offset
+			// records, untouched pages as zero records, resident pages in
+			// full. Nothing is swapped in — unless the NoRemoteSwap
+			// ablation removes the portable swap device, in which case
+			// swapped pages take the pre-copy path.
+			switch {
+			case st.OnSwap() && m.tun.NoRemoteSwap:
+				if m.faultInFlight >= m.tun.MaxSwapInFlight {
+					m.roundBM.Set(p)
+					m.cursor = p
+					return
+				}
+				m.swapInAndSend(p, m.roundBM, false)
+			case st.OnSwap():
+				m.sendOffsetRecord(p)
+			case st == mem.StateUntouched:
+				m.sendUntouchedRecord(p)
+			default:
+				m.sendFullPage(p, false)
+			}
+		default:
+			panic("core: pumpRound in " + m.tech.String())
+		}
+		budget--
+	}
+}
+
+// pumpPush streams the post-switchover push set, swapping in at the source
+// where needed (post-copy only; Agile's push set was faulted in before
+// switchover).
+func (m *Migration) pumpPush() {
+	if !m.switched && m.tech == Agile {
+		return // waiting for the CPU state to arrive
+	}
+	if m.tun.DisableActivePush {
+		return // ablation: demand paging only; transfer time is unbounded
+	}
+	budget := m.tun.PumpPagesPerTick
+	for budget > 0 {
+		if m.pushFlow.Backlog() >= m.tun.WindowBytes {
+			return
+		}
+		p := m.pushBM.NextSet(m.cursor)
+		if p == mem.NoPage {
+			if m.faultInFlight > 0 {
+				return
+			}
+			if !m.srcDrained {
+				m.srcDrained = true
+				m.event(trace.SourceDrained, "push set empty after %d pages", m.result.PagesSent)
+				// FIFO marker: when this arrives, every pushed page has.
+				m.pushFlow.SendMessage(m.tun.RecordBytes, func() {
+					m.maybeComplete()
+				})
+			}
+			return
+		}
+		m.cursor = p + 1
+		m.pushBM.Clear(p)
+		st := m.srcTable.State(p)
+		if st.OnSwap() {
+			if m.faultInFlight >= m.tun.MaxSwapInFlight {
+				m.pushBM.Set(p)
+				m.cursor = p
+				return
+			}
+			m.swapInAndSend(p, m.pushBM, true)
+		} else {
+			m.sendFullPage(p, true)
+		}
+		budget--
+	}
+}
+
+// swapInAndSend swaps in page p at the source — together with up to a
+// readahead cluster's worth of consecutive swapped pages still pending in
+// bm — and streams the batch when it lands. p has already been cleared
+// from bm; the cluster members are cleared here. The caller has verified
+// the in-flight bound.
+func (m *Migration) swapInAndSend(p mem.PageID, bm *mem.Bitmap, freeAfter bool) {
+	m.faultInFlight++
+	if m.srcTable.State(p) == mem.StateFaulting {
+		// A guest fault is already bringing the page in; join it.
+		m.srcGroup.FaultIn(p, func() {
+			m.faultInFlight--
+			m.sendFullPage(p, freeAfter)
+		})
+		return
+	}
+	pages := []mem.PageID{p}
+	for q := p + 1; int(q) < m.nPages && len(pages) < m.tun.SwapInCluster; q++ {
+		if !bm.Test(q) || m.srcTable.State(q) != mem.StateSwapped {
+			break
+		}
+		bm.Clear(q)
+		pages = append(pages, q)
+	}
+	m.srcGroup.FaultInCluster(pages, func() {
+		m.faultInFlight--
+		for _, q := range pages {
+			m.sendFullPage(q, freeAfter)
+		}
+	})
+}
+
+// sendFullPage streams one page; freeAfter releases the source copy (active
+// push and demand service free source memory as they go).
+func (m *Migration) sendFullPage(p mem.PageID, freeAfter bool) {
+	m.result.PagesSent++
+	m.srcTable.ClearDirty(p)
+	m.pushFlow.SendMessage(mem.PageSize+m.tun.PageHeaderBytes, func() {
+		m.deliverFullPage(p)
+	})
+	if freeAfter {
+		m.freeSourcePage(p)
+	}
+}
+
+// sendOffsetRecord ships a swapped page by reference (Agile).
+func (m *Migration) sendOffsetRecord(p mem.PageID) {
+	m.result.OffsetRecords++
+	m.offsetSent.Set(p)
+	m.srcTable.ClearDirty(p)
+	off := m.srcTable.SwapOffset(p)
+	m.pushFlow.SendMessage(m.tun.RecordBytes, func() {
+		t := m.destTable
+		if t.State(p) == mem.StateUntouched {
+			// §IV-F: store the offset in the swap offset table and set the
+			// page's bit in the swapped bitmap.
+			t.SetSwapOffset(p, off)
+			t.SetState(p, mem.StateSwapped)
+		}
+	})
+}
+
+// sendUntouchedRecord tells the destination the page reads as zeros.
+func (m *Migration) sendUntouchedRecord(p mem.PageID) {
+	m.result.UntouchedRecords++
+	m.pushFlow.SendMessage(m.tun.RecordBytes, func() {
+		m.knownUntouched.Set(p)
+	})
+}
+
+// freeSourcePage releases the page's source memory once its content is on
+// the wire.
+func (m *Migration) freeSourcePage(p mem.PageID) {
+	switch m.srcTable.State(p) {
+	case mem.StateResident, mem.StateEvicting:
+		// An in-flight write-back completes against a non-Evicting state
+		// and releases its slot.
+		m.srcTable.SetState(p, mem.StateUntouched)
+	default:
+		// Swapped pages stay on the device (Agile cold pages); untouched
+		// pages are already free; faulting cannot happen after content was
+		// read.
+	}
+}
+
+// deliverFullPage lands a streamed page in the destination's memory.
+func (m *Migration) deliverFullPage(p mem.PageID) {
+	t := m.destTable
+	switch t.State(p) {
+	case mem.StateUntouched:
+		t.SetState(p, mem.StateResident)
+	case mem.StateSwapped:
+		// A newer copy supersedes the one the destination had evicted.
+		m.destGroup.Backend().Release(t.SwapOffset(p))
+		t.SetState(p, mem.StateResident)
+	case mem.StateEvicting:
+		m.destGroup.CancelEviction(p)
+	case mem.StateResident, mem.StateFaulting:
+		// Duplicate (demand/push race) or racing its own fault; no change.
+	}
+	m.fireDemandWaiters(p)
+}
+
+// --- demand paging ------------------------------------------------------
+
+// requestFromSource registers a destination fault and asks the source for
+// the page (deduplicating concurrent faults on the same page).
+func (m *Migration) requestFromSource(p mem.PageID, done func()) {
+	if ws, ok := m.pendingDemand[p]; ok {
+		m.pendingDemand[p] = append(ws, done)
+		return
+	}
+	m.pendingDemand[p] = []func(){done}
+	m.result.DemandRequests++
+	m.ctrlFlow.SendMessage(m.tun.DemandRequestBytes, func() {
+		m.serveDemand(p)
+	})
+}
+
+// serveDemand handles a fault request at the source.
+func (m *Migration) serveDemand(p mem.PageID) {
+	if m.pushBM == nil || !m.pushBM.Test(p) {
+		// Already pushed (or being pushed): the in-flight copy will fire
+		// the waiters on delivery.
+		return
+	}
+	m.pushBM.Clear(p)
+	st := m.srcTable.State(p)
+	if st.OnSwap() {
+		if m.tech == ScatterGather && st == mem.StateSwapped {
+			// The page is already on the per-VM swap device: answer with a
+			// record instead of pulling it through source memory.
+			m.sendScatterRecord(p, m.srcTable.SwapOffset(p))
+			return
+		}
+		m.faultInFlight++
+		m.srcGroup.FaultIn(p, func() {
+			m.faultInFlight--
+			m.respondDemand(p)
+		})
+		return
+	}
+	m.respondDemand(p)
+}
+
+func (m *Migration) respondDemand(p mem.PageID) {
+	m.result.PagesSent++
+	m.result.PagesDemandServed++
+	m.srcTable.ClearDirty(p)
+	m.outstandingDemand++
+	m.demandFlow.SendMessage(mem.PageSize+m.tun.PageHeaderBytes, func() {
+		m.deliverFullPage(p)
+		m.outstandingDemand--
+		m.maybeComplete()
+	})
+	m.freeSourcePage(p)
+}
+
+func (m *Migration) fireDemandWaiters(p mem.PageID) {
+	ws, ok := m.pendingDemand[p]
+	if !ok {
+		return
+	}
+	delete(m.pendingDemand, p)
+	for _, w := range ws {
+		w()
+	}
+	m.maybeComplete()
+}
+
+// maybeComplete finishes the migration once the source is drained and no
+// demand traffic is outstanding.
+func (m *Migration) maybeComplete() {
+	if m.state != phasePush || !m.srcDrained {
+		return
+	}
+	if m.outstandingDemand > 0 || len(m.pendingDemand) > 0 || m.faultInFlight > 0 {
+		return
+	}
+	m.complete()
+}
+
+// complete tears down the source side.
+func (m *Migration) complete() {
+	if m.state == phaseDone {
+		return
+	}
+	m.state = phaseDone
+	m.event(trace.Complete, "total %.2fs, %d pages sent, %d demand-served",
+		sim.Seconds(m.eng.Now()-m.result.Start, m.eng.TickLen()), m.result.PagesSent, m.result.PagesDemandServed)
+	if m.tech != PreCopy {
+		// Runtime faults from here on use the destination cgroup directly.
+		m.vm.SetFaultHandler(nil)
+	}
+	if (m.tech == Agile || m.tech == ScatterGather) && !m.tun.NoRemoteSwap {
+		// §IV-B: disconnect the per-VM swap device from the source once
+		// the in-memory state has fully migrated.
+		m.spec.Namespace.Detach(m.spec.Source.VMDClient())
+	}
+	m.srcGroup.Disable()
+	m.spec.Source.RemoveVM(m.vm.Name())
+	m.result.End = m.eng.Now()
+	m.result.TotalSeconds = sim.Seconds(m.result.End-m.result.Start, m.eng.TickLen())
+	m.result.DowntimeSeconds = sim.Seconds(sim.Time(m.vm.Downtime()-m.downtimeBase), m.eng.TickLen())
+	m.result.BytesTransferred = m.pushFlow.Offered() + m.demandFlow.Offered() + m.ctrlFlow.Offered()
+	m.pushFlow.Close()
+	m.demandFlow.Close()
+	m.ctrlFlow.Close()
+	if m.tech == ScatterGather && m.tun.GatherPrefetch {
+		m.startGatherPrefetch()
+	}
+	if m.spec.OnComplete != nil {
+		m.spec.OnComplete(&m.result)
+	}
+}
+
+// switchover moves execution to the destination (runs when the CPU state
+// message is delivered there).
+func (m *Migration) switchover() {
+	if m.switched {
+		return
+	}
+	m.switched = true
+	m.result.Switchover = m.eng.Now()
+	m.event(trace.Switchover, "execution resumes at %s", m.spec.Dest.Name())
+	if m.tech == ScatterGather {
+		// The portable swap device attaches at the destination; scattered
+		// pages become reachable there as their records arrive.
+		m.spec.Namespace.AttachTo(m.spec.Dest.VMDClient())
+		m.destGroup.SetReservationBytes(m.spec.DestReservationBytes)
+	}
+	if m.tech == Agile {
+		// Discard destination copies that went stale during the live
+		// round: the shipped dirty bitmap tells the destination which
+		// pages must come from the source regardless of what it received.
+		m.pushBM.ForEachSet(func(p mem.PageID) bool {
+			switch m.destTable.State(p) {
+			case mem.StateResident:
+				m.destTable.SetState(p, mem.StateUntouched)
+			case mem.StateSwapped:
+				// The offset record is stale; the source faulted the page
+				// in (releasing the slot) before switchover.
+				m.destTable.SetState(p, mem.StateUntouched)
+			}
+			m.knownUntouched.Clear(p)
+			return true
+		})
+		// The portable swap device attaches at the destination; the VM's
+		// cold pages become reachable there.
+		if !m.tun.NoRemoteSwap {
+			m.spec.Namespace.AttachTo(m.spec.Dest.VMDClient())
+		}
+		m.destGroup.SetReservationBytes(m.spec.DestReservationBytes)
+	}
+	// Any auto-converge throttling ends with the move.
+	m.vm.SetCPUQuota(1)
+	m.vm.ReplaceTable(m.destTable)
+	m.vm.AttachGroup(m.destGroup)
+	if m.tech != PreCopy {
+		m.vm.SetFaultHandler(&destFaultHandler{m: m})
+	}
+	if m.spec.OnSwitchover != nil {
+		m.spec.OnSwitchover()
+	}
+	m.vm.Resume()
+	if m.tech == PreCopy {
+		m.complete()
+	}
+}
+
+func (m *Migration) String() string {
+	return fmt.Sprintf("migration{%s %s, phase %d, round %d}", m.tech, m.vm.Name(), m.state, m.round)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"agilemig/internal/mem"
+	"agilemig/internal/sim"
+	"agilemig/internal/trace"
+)
+
+// Scatter-gather migration ([22], §VI): optimize the time until the source
+// host is free, not the time until the VM's memory has a new home. The VM
+// suspends immediately and resumes at the destination (like post-copy),
+// but instead of streaming memory to the destination, the source scatters
+// every resident page into the VM's VMD namespace — bounded only by the
+// source NIC and the intermediaries, not by the destination. As each page
+// lands, a 16-byte record tells the destination to mark it in the swapped
+// bitmap; from then on the destination gathers it from the per-VM swap
+// device like any Agile cold page. Pages the destination faults on before
+// their scatter completes are served directly from source memory over the
+// demand channel.
+
+// startScatterGather initializes the technique (called from Start).
+func (m *Migration) startScatterGather() {
+	m.event(trace.Suspend, "immediate (scatter-gather)")
+	m.vm.Suspend()
+	m.pushBM = mem.NewBitmap(m.nPages)
+	m.pushBM.SetAll()
+	m.knownUntouched = mem.NewBitmap(m.nPages)
+	m.state = phasePush
+	m.pushFlow.SendMessage(m.tun.CPUStateBytes, m.switchover)
+}
+
+// pumpScatter walks the remaining pages, scattering resident ones to the
+// VMD and shipping by-reference records for the rest.
+func (m *Migration) pumpScatter() {
+	// Scattering starts immediately — it needs no destination involvement,
+	// and the records queue behind the CPU-state message on the FIFO
+	// stream, so they cannot arrive before the namespace attaches.
+	budget := m.tun.PumpPagesPerTick
+	for budget > 0 {
+		if m.scatterInFlight >= m.tun.MaxScatterInFlight {
+			return
+		}
+		if m.pushFlow.Backlog() >= m.tun.WindowBytes {
+			return
+		}
+		p := m.pushBM.NextSet(m.cursor)
+		if p == mem.NoPage {
+			if m.pushBM.Count() > 0 {
+				// Deferred pages (in-flight evictions) remain behind the
+				// cursor; wrap and retry.
+				m.cursor = 0
+				return
+			}
+			if m.scatterInFlight > 0 || m.faultInFlight > 0 {
+				return
+			}
+			if !m.srcDrained {
+				m.srcDrained = true
+				m.event(trace.SourceDrained, "scatter complete after %d pages", m.result.PagesScattered)
+				m.pushFlow.SendMessage(m.tun.RecordBytes, func() {
+					m.maybeComplete()
+				})
+			}
+			return
+		}
+		m.cursor = p + 1
+		m.pushBM.Clear(p)
+		switch m.srcTable.State(p) {
+		case mem.StateSwapped:
+			// Already on the per-VM swap device.
+			m.sendScatterRecord(p, m.srcTable.SwapOffset(p))
+		case mem.StateFaulting:
+			// A guest fault was in flight at suspend time; its slot frees
+			// on completion, so scatter the page once it lands.
+			m.faultInFlight++
+			p := p
+			m.srcGroup.FaultIn(p, func() {
+				m.faultInFlight--
+				m.scatterPage(p)
+			})
+		case mem.StateEvicting:
+			// The page's own eviction is already writing it to the
+			// namespace; let it finish and pick the page up as Swapped on
+			// the next wrap.
+			m.pushBM.Set(p)
+		case mem.StateUntouched:
+			m.sendUntouchedRecord(p)
+		default: // Resident
+			m.scatterPage(p)
+		}
+		budget--
+	}
+}
+
+// scatterPage writes one resident page into the VM's namespace through the
+// source's VMD client, then tells the destination where to find it and
+// frees the source copy.
+func (m *Migration) scatterPage(p mem.PageID) {
+	m.scatterInFlight++
+	m.result.PagesScattered++
+	ns := m.spec.Namespace
+	src := m.spec.Source.VMDClient()
+	ns.Write(src, uint32(p), func() {
+		m.scatterInFlight--
+		m.freeSourcePage(p)
+		m.sendScatterRecord(p, uint32(p))
+	})
+}
+
+// sendScatterRecord ships a swapped-bitmap record to the destination after
+// the page is durable on the VMD. Unlike Agile's pre-switchover offset
+// records, these arrive while the destination VM runs, so a record may
+// resolve faults already waiting on the page.
+func (m *Migration) sendScatterRecord(p mem.PageID, off uint32) {
+	m.result.OffsetRecords++
+	m.pushFlow.SendMessage(m.tun.RecordBytes, func() {
+		t := m.destTable
+		if t.State(p) == mem.StateUntouched {
+			t.SetSwapOffset(p, off)
+			t.SetState(p, mem.StateSwapped)
+		}
+		if ws, ok := m.pendingDemand[p]; ok {
+			// Faults were waiting for this page; it is now reachable on
+			// the swap device.
+			delete(m.pendingDemand, p)
+			m.destGroup.FaultIn(p, func() {
+				for _, w := range ws {
+					w()
+				}
+				m.maybeComplete()
+			})
+		}
+	})
+}
+
+// startGatherPrefetch actively pulls scattered pages into the
+// destination's reservation after the source is free (the "gather" of the
+// original system; without it, pages arrive only as the workload faults).
+func (m *Migration) startGatherPrefetch() {
+	var cursor mem.PageID
+	inFlight := 0
+	done := false
+	m.eng.AddTickerFunc(sim.PhaseControl, func(sim.Time) {
+		if done {
+			return
+		}
+		headroom := int(m.destGroup.ReservationBytes()/mem.PageSize) - m.destTable.InRAM()
+		for inFlight < m.tun.MaxSwapInFlight && headroom > 0 {
+			// Collect the next cluster of swapped pages.
+			var batch []mem.PageID
+			for p := cursor; int(p) < m.nPages && len(batch) < m.tun.SwapInCluster; p++ {
+				cursor = p + 1
+				if m.destTable.State(p) == mem.StateSwapped {
+					batch = append(batch, p)
+				}
+			}
+			if len(batch) == 0 {
+				if int(cursor) >= m.nPages {
+					done = true
+				}
+				return
+			}
+			inFlight++
+			headroom -= len(batch)
+			m.destGroup.FaultInCluster(batch, func() { inFlight-- })
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package dist implements the access-pattern distributions used by the
+// workload generators: the uniform and (scrambled) Zipfian distributions of
+// the YCSB benchmark, a hotspot distribution, and a sequential scan. Each
+// distribution draws item indices in [0, n); the workloads map those indices
+// onto guest memory pages.
+package dist
+
+import (
+	"math"
+
+	"agilemig/internal/sim"
+)
+
+// Dist draws item indices in [0, N()).
+type Dist interface {
+	// Next returns the next item index.
+	Next(r *sim.RNG) int64
+	// N returns the number of items the distribution draws from.
+	N() int64
+}
+
+// Uniform draws uniformly from [0, n).
+type Uniform struct {
+	n int64
+}
+
+// NewUniform returns a uniform distribution over [0, n). It panics if n <= 0.
+func NewUniform(n int64) *Uniform {
+	if n <= 0 {
+		panic("dist: uniform over empty range")
+	}
+	return &Uniform{n: n}
+}
+
+// Next returns a uniform draw.
+func (u *Uniform) Next(r *sim.RNG) int64 { return r.Int63n(u.n) }
+
+// N returns the range size.
+func (u *Uniform) N() int64 { return u.n }
+
+// Zipfian draws from a Zipfian distribution over [0, n) using the rejection
+// method of Gray et al. ("Quickly generating billion-record synthetic
+// databases"), the same algorithm YCSB uses. Low indices are the most
+// popular.
+type Zipfian struct {
+	n          int64
+	theta      float64
+	alpha      float64
+	zetan      float64
+	eta        float64
+	zeta2theta float64
+}
+
+// DefaultZipfianConstant matches YCSB's default skew.
+const DefaultZipfianConstant = 0.99
+
+// NewZipfian returns a Zipfian distribution over [0, n) with the given skew
+// constant (theta). It panics if n <= 0 or theta is not in (0, 1).
+func NewZipfian(n int64, theta float64) *Zipfian {
+	if n <= 0 {
+		panic("dist: zipfian over empty range")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("dist: zipfian constant must be in (0,1)")
+	}
+	z := &Zipfian{n: n, theta: theta}
+	z.alpha = 1 / (1 - theta)
+	z.zetan = zeta(n, theta)
+	z.zeta2theta = zeta(2, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zeta(n int64, theta float64) float64 {
+	// For large n this O(n) sum runs once per distribution; the workloads
+	// construct distributions at scenario setup, never per operation.
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next Zipfian draw.
+func (z *Zipfian) Next(r *sim.RNG) int64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// N returns the range size.
+func (z *Zipfian) N() int64 { return z.n }
+
+// ScrambledZipfian spreads a Zipfian's popular items across the whole key
+// space by hashing, exactly as YCSB does, so that popularity is skewed but
+// popular items are not clustered at low addresses.
+type ScrambledZipfian struct {
+	z *Zipfian
+}
+
+// NewScrambledZipfian returns a scrambled Zipfian over [0, n) with YCSB's
+// default skew.
+func NewScrambledZipfian(n int64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n, DefaultZipfianConstant)}
+}
+
+// fnvHash64 is the FNV-1 64-bit hash of the integer's bytes, matching the
+// scrambling function in YCSB.
+func fnvHash64(v int64) int64 {
+	const offsetBasis = 0xCBF29CE484222325
+	const prime = 1099511628211
+	h := uint64(offsetBasis)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		octet := u & 0xff
+		u >>= 8
+		h ^= octet
+		h *= prime
+	}
+	r := int64(h)
+	if r < 0 {
+		r = -r
+	}
+	return r
+}
+
+// Next returns the next scrambled draw.
+func (s *ScrambledZipfian) Next(r *sim.RNG) int64 {
+	return fnvHash64(s.z.Next(r)) % s.z.n
+}
+
+// N returns the range size.
+func (s *ScrambledZipfian) N() int64 { return s.z.n }
+
+// Hotspot draws from a hot subset with probability hotOpn and uniformly
+// from the remainder otherwise (YCSB's hotspot distribution).
+type Hotspot struct {
+	n      int64
+	hotN   int64
+	hotOpn float64
+}
+
+// NewHotspot returns a hotspot distribution over [0, n) where hotFrac of
+// the items receive hotOpn of the accesses.
+func NewHotspot(n int64, hotFrac, hotOpn float64) *Hotspot {
+	if n <= 0 {
+		panic("dist: hotspot over empty range")
+	}
+	if hotFrac <= 0 || hotFrac > 1 || hotOpn < 0 || hotOpn > 1 {
+		panic("dist: hotspot fractions out of range")
+	}
+	hotN := int64(float64(n) * hotFrac)
+	if hotN < 1 {
+		hotN = 1
+	}
+	return &Hotspot{n: n, hotN: hotN, hotOpn: hotOpn}
+}
+
+// Next returns the next hotspot draw.
+func (h *Hotspot) Next(r *sim.RNG) int64 {
+	if r.Float64() < h.hotOpn {
+		return r.Int63n(h.hotN)
+	}
+	if h.n == h.hotN {
+		return r.Int63n(h.n)
+	}
+	return h.hotN + r.Int63n(h.n-h.hotN)
+}
+
+// N returns the range size.
+func (h *Hotspot) N() int64 { return h.n }
+
+// Sequential cycles through [0, n) in order; used by dataset loaders.
+type Sequential struct {
+	n    int64
+	next int64
+}
+
+// NewSequential returns a sequential generator over [0, n).
+func NewSequential(n int64) *Sequential {
+	if n <= 0 {
+		panic("dist: sequential over empty range")
+	}
+	return &Sequential{n: n}
+}
+
+// Next returns the next index in sequence, wrapping at n.
+func (s *Sequential) Next(_ *sim.RNG) int64 {
+	v := s.next
+	s.next++
+	if s.next >= s.n {
+		s.next = 0
+	}
+	return v
+}
+
+// N returns the range size.
+func (s *Sequential) N() int64 { return s.n }

@@ -1,0 +1,212 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"agilemig/internal/sim"
+)
+
+func drawMany(t *testing.T, d Dist, n int) []int64 {
+	t.Helper()
+	r := sim.NewRNG(42)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.Next(r)
+		if out[i] < 0 || out[i] >= d.N() {
+			t.Fatalf("draw %d out of range [0,%d)", out[i], d.N())
+		}
+	}
+	return out
+}
+
+func TestUniformBounds(t *testing.T) {
+	drawMany(t, NewUniform(1000), 100000)
+}
+
+func TestUniformCoversRange(t *testing.T) {
+	d := NewUniform(16)
+	seen := make(map[int64]int)
+	for _, v := range drawMany(t, d, 16000) {
+		seen[v]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("uniform(16) hit only %d values", len(seen))
+	}
+	for v, c := range seen {
+		if c < 500 || c > 1500 {
+			t.Fatalf("uniform(16) value %d drawn %d times out of 16000 (want ~1000)", v, c)
+		}
+	}
+}
+
+func TestUniformPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewUniform(0) did not panic")
+		}
+	}()
+	NewUniform(0)
+}
+
+func TestZipfianBounds(t *testing.T) {
+	drawMany(t, NewZipfian(10000, DefaultZipfianConstant), 100000)
+}
+
+func TestZipfianSkew(t *testing.T) {
+	d := NewZipfian(10000, DefaultZipfianConstant)
+	var low, rest int
+	for _, v := range drawMany(t, d, 100000) {
+		if v < 100 {
+			low++
+		} else {
+			rest++
+		}
+	}
+	// With theta=0.99 the first 1% of items should receive far more than 1%
+	// of the accesses; empirically well above 40%.
+	if low < rest/3 {
+		t.Fatalf("zipfian not skewed: %d draws in the first 1%%, %d elsewhere", low, rest)
+	}
+}
+
+func TestZipfianRankOrdering(t *testing.T) {
+	d := NewZipfian(1000, DefaultZipfianConstant)
+	counts := make([]int, 1000)
+	for _, v := range drawMany(t, d, 200000) {
+		counts[v]++
+	}
+	if !(counts[0] > counts[10] && counts[10] > counts[500]) {
+		t.Fatalf("zipfian popularity not decreasing: c0=%d c10=%d c500=%d",
+			counts[0], counts[10], counts[500])
+	}
+}
+
+func TestZipfianPanicsOnBadTheta(t *testing.T) {
+	for _, theta := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipfian(n, %v) did not panic", theta)
+				}
+			}()
+			NewZipfian(10, theta)
+		}()
+	}
+}
+
+func TestScrambledZipfianBounds(t *testing.T) {
+	drawMany(t, NewScrambledZipfian(10000), 100000)
+}
+
+func TestScrambledZipfianSpreadsHotItems(t *testing.T) {
+	d := NewScrambledZipfian(100000)
+	counts := make(map[int64]int)
+	for _, v := range drawMany(t, d, 200000) {
+		counts[v]++
+	}
+	// Find the hottest item: it should not be index 0 (scrambling moves it),
+	// and the hot items should not all be clustered at low indices.
+	var hottest int64
+	best := 0
+	sumHotIdx := int64(0)
+	nHot := 0
+	for v, c := range counts {
+		if c > best {
+			best, hottest = c, v
+		}
+		if c > 50 {
+			sumHotIdx += v
+			nHot++
+		}
+	}
+	if nHot < 2 {
+		t.Skip("not enough hot items to judge spread")
+	}
+	meanHotIdx := float64(sumHotIdx) / float64(nHot)
+	if meanHotIdx < float64(d.N())/20 {
+		t.Fatalf("hot items clustered at low indices (mean %v)", meanHotIdx)
+	}
+	_ = hottest
+}
+
+func TestScrambledZipfianStillSkewed(t *testing.T) {
+	d := NewScrambledZipfian(10000)
+	counts := make(map[int64]int)
+	for _, v := range drawMany(t, d, 100000) {
+		counts[v]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Fatalf("scrambled zipfian hottest item drawn only %d/100000 times; lost its skew", max)
+	}
+}
+
+func TestHotspotRespectsHotFraction(t *testing.T) {
+	d := NewHotspot(10000, 0.1, 0.9)
+	hot := 0
+	draws := drawMany(t, d, 100000)
+	for _, v := range draws {
+		if v < 1000 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(draws))
+	// 90% to hot set plus 10%*10% of the cold draws... cold draws go only to
+	// [hotN, n), so hot fraction should be ~0.9.
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("hotspot hot fraction %v, want ~0.9", frac)
+	}
+}
+
+func TestHotspotAllHot(t *testing.T) {
+	d := NewHotspot(100, 1.0, 0.5)
+	drawMany(t, d, 10000)
+}
+
+func TestSequentialCycles(t *testing.T) {
+	d := NewSequential(5)
+	r := sim.NewRNG(1)
+	want := []int64{0, 1, 2, 3, 4, 0, 1}
+	for i, w := range want {
+		if got := d.Next(r); got != w {
+			t.Fatalf("sequential draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestFNVHashNonNegativeProperty(t *testing.T) {
+	f := func(v int64) bool {
+		h := fnvHash64(v)
+		return h >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistsDeterministicAcrossRuns(t *testing.T) {
+	mk := func() []Dist {
+		return []Dist{
+			NewUniform(1000),
+			NewZipfian(1000, DefaultZipfianConstant),
+			NewScrambledZipfian(1000),
+			NewHotspot(1000, 0.2, 0.8),
+		}
+	}
+	a, b := mk(), mk()
+	ra, rb := sim.NewRNG(99), sim.NewRNG(99)
+	for i := range a {
+		for j := 0; j < 1000; j++ {
+			if a[i].Next(ra) != b[i].Next(rb) {
+				t.Fatalf("distribution %d not deterministic", i)
+			}
+		}
+	}
+}

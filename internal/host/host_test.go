@@ -1,0 +1,187 @@
+package host
+
+import (
+	"testing"
+
+	"agilemig/internal/blockdev"
+	"agilemig/internal/guest"
+	"agilemig/internal/mem"
+	"agilemig/internal/sim"
+	"agilemig/internal/simnet"
+	"agilemig/internal/vmd"
+)
+
+const (
+	gib  = int64(1) << 30
+	mib  = int64(1) << 20
+	gbps = int64(125_000_000)
+)
+
+func newHost(t *testing.T, ramBytes int64) (*sim.Engine, *simnet.Network, *Host) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	h := New(eng, net, Config{
+		Name: "src", RAMBytes: ramBytes, OSOverheadBytes: 200 * mib, NetBytesPerSec: gbps,
+	})
+	return eng, net, h
+}
+
+func ssdConfig() blockdev.Config {
+	return blockdev.Config{Name: "ssd", BytesPerSecond: 200 * mib, IOPS: 50_000}
+}
+
+func TestHostRAMAccounting(t *testing.T) {
+	eng, _, h := newHost(t, 4*gib)
+	h.ConfigureSharedSwap(ssdConfig(), 2*gib)
+	vm := guest.New(eng, "vm1", 1*gib)
+	h.AddVM(vm, 1*gib, h.SharedSwapBackend())
+	vm.Resume()
+	vm.BulkPopulate(0, 1000)
+	used := h.UsedRAMPages()
+	os := int(200 * mib / mem.PageSize)
+	if used != os+1000 {
+		t.Fatalf("used %d pages, want %d", used, os+1000)
+	}
+	if h.FreeRAMPages() != h.RAMPages()-used {
+		t.Fatal("free pages inconsistent")
+	}
+}
+
+func TestSharedSwapThrashesUnderPressure(t *testing.T) {
+	eng, _, h := newHost(t, 4*gib)
+	h.ConfigureSharedSwap(ssdConfig(), 2*gib)
+	vm := guest.New(eng, "vm1", 1*gib)
+	// Reservation far below footprint: 100 MB for a 400 MB working set.
+	h.AddVM(vm, 100*mib, h.SharedSwapBackend())
+	vm.Resume()
+	vm.BulkPopulate(0, mem.PageID(400*mib/mem.PageSize))
+	eng.RunSeconds(20)
+	g := h.Group("vm1")
+	if g.Stats().SwapOutPages == 0 {
+		t.Fatal("no swap-out despite pressure")
+	}
+	if got := g.Table().InRAM(); got > int(100*mib/mem.PageSize) {
+		t.Fatalf("in RAM %d pages exceeds reservation", got)
+	}
+	if h.SwapDevice().BytesWritten() == 0 {
+		t.Fatal("device never saw the traffic")
+	}
+}
+
+func TestTwoVMsShareSwapDevice(t *testing.T) {
+	eng, _, h := newHost(t, 8*gib)
+	h.ConfigureSharedSwap(ssdConfig(), 4*gib)
+	for _, name := range []string{"vm1", "vm2"} {
+		vm := guest.New(eng, name, 1*gib)
+		h.AddVM(vm, 100*mib, h.SharedSwapBackend())
+		vm.Resume()
+		vm.BulkPopulate(0, mem.PageID(300*mib/mem.PageSize))
+	}
+	eng.RunSeconds(20)
+	// Both cgroups wrote to the same partition; slots must never collide,
+	// which the allocator guarantees by construction (double-free panics).
+	s1 := h.Group("vm1").Stats().SwapOutPages
+	s2 := h.Group("vm2").Stats().SwapOutPages
+	if s1 == 0 || s2 == 0 {
+		t.Fatalf("both VMs should swap: %d, %d", s1, s2)
+	}
+}
+
+func TestVMDBackendRoundTrip(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	h := New(eng, net, Config{Name: "src", RAMBytes: 4 * gib, NetBytesPerSec: gbps})
+	v := vmd.New(eng, net)
+	v.AddServer("inter", net.NewNIC("inter", gbps), 1<<20)
+	client := v.NewClient("src", h.NIC(), 0)
+	h.SetVMDClient(client)
+
+	vm := guest.New(eng, "vm1", 1*gib)
+	ns := v.CreateNamespace(vm.Name(), vm.Pages())
+	ns.AttachTo(client)
+	h.AddVM(vm, 50*mib, VMDSwapBackend(ns, client))
+	vm.Resume()
+	vm.BulkPopulate(0, mem.PageID(200*mib/mem.PageSize))
+	eng.RunSeconds(30)
+	g := h.Group("vm1")
+	if g.Stats().SwapOutPages == 0 {
+		t.Fatal("no VMD swap-out")
+	}
+	if ns.Stored() == 0 {
+		t.Fatal("namespace holds nothing")
+	}
+	// Fault one page back.
+	var sp mem.PageID = -1
+	vm.Table().ForEach(func(p mem.PageID, s mem.PageState) {
+		if sp == -1 && s == mem.StateSwapped {
+			sp = p
+		}
+	})
+	if sp == -1 {
+		t.Fatal("no swapped page")
+	}
+	ok := false
+	vm.Access(sp, false, func() { ok = true })
+	eng.RunSeconds(5)
+	if !ok {
+		t.Fatal("VMD fault never completed")
+	}
+}
+
+func TestVMDSlotIsPageID(t *testing.T) {
+	b := &NamespaceBackend{}
+	if s, ok := b.SlotFor(1234); !ok || s != 1234 {
+		t.Fatalf("SlotFor = %d, %v", s, ok)
+	}
+}
+
+func TestDuplicateVMPanics(t *testing.T) {
+	eng, _, h := newHost(t, 4*gib)
+	h.ConfigureSharedSwap(ssdConfig(), gib)
+	vm := guest.New(eng, "vm1", gib)
+	h.AddVM(vm, gib, h.SharedSwapBackend())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddVM did not panic")
+		}
+	}()
+	h.AddVM(vm, gib, h.SharedSwapBackend())
+}
+
+func TestRemoveVMFreesAccounting(t *testing.T) {
+	eng, _, h := newHost(t, 4*gib)
+	h.ConfigureSharedSwap(ssdConfig(), gib)
+	vm := guest.New(eng, "vm1", gib)
+	h.AddVM(vm, gib, h.SharedSwapBackend())
+	vm.BulkPopulate(0, 1000)
+	before := h.UsedRAMPages()
+	h.RemoveVM("vm1")
+	if h.UsedRAMPages() >= before {
+		t.Fatal("RemoveVM did not release accounting")
+	}
+	if len(h.VMs()) != 0 || h.Group("vm1") != nil || h.VM("vm1") != nil {
+		t.Fatal("VM still registered")
+	}
+}
+
+func TestFreeReservationBytes(t *testing.T) {
+	eng, _, h := newHost(t, 4*gib)
+	h.ConfigureSharedSwap(ssdConfig(), gib)
+	vm := guest.New(eng, "vm1", gib)
+	h.AddVM(vm, gib, h.SharedSwapBackend())
+	want := 4*gib - 200*mib - gib
+	if got := h.FreeReservationBytes(); got != want {
+		t.Fatalf("free reservation %d, want %d", got, want)
+	}
+}
+
+func TestSharedSwapUnconfiguredPanics(t *testing.T) {
+	_, _, h := newHost(t, 4*gib)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing swap did not panic")
+		}
+	}()
+	h.SharedSwapBackend()
+}

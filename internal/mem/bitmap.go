@@ -1,0 +1,146 @@
+package mem
+
+import "math/bits"
+
+// Bitmap is a fixed-size bit set over page IDs, used for the dirty bitmap a
+// pre-copy round scans, the swapped bitmap the destination consults to
+// route faults, and the sent/received bookkeeping of the migration engines.
+type Bitmap struct {
+	words []uint64
+	n     int
+	count int
+}
+
+// NewBitmap returns an empty bitmap over n pages.
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		panic("mem: negative bitmap size")
+	}
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of pages the bitmap covers.
+func (b *Bitmap) Len() int { return b.n }
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int { return b.count }
+
+// Test reports whether bit p is set.
+func (b *Bitmap) Test(p PageID) bool {
+	return b.words[uint(p)/64]&(1<<(uint(p)%64)) != 0
+}
+
+// Set sets bit p.
+func (b *Bitmap) Set(p PageID) {
+	w, m := uint(p)/64, uint64(1)<<(uint(p)%64)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.count++
+	}
+}
+
+// Clear clears bit p.
+func (b *Bitmap) Clear(p PageID) {
+	w, m := uint(p)/64, uint64(1)<<(uint(p)%64)
+	if b.words[w]&m != 0 {
+		b.words[w] &^= m
+		b.count--
+	}
+}
+
+// SetAll sets every bit (the first pre-copy round treats all pages as
+// dirty).
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := uint(b.n) % 64; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << tail) - 1
+	}
+	b.count = b.n
+}
+
+// ClearAll clears every bit.
+func (b *Bitmap) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.count = 0
+}
+
+// NextSet returns the first set bit at or after from, or NoPage if none.
+func (b *Bitmap) NextSet(from PageID) PageID {
+	if from < 0 {
+		from = 0
+	}
+	if int(from) >= b.n {
+		return NoPage
+	}
+	w := uint(from) / 64
+	word := b.words[w] >> (uint(from) % 64)
+	if word != 0 {
+		return from + PageID(bits.TrailingZeros64(word))
+	}
+	for w++; int(w) < len(b.words); w++ {
+		if b.words[w] != 0 {
+			return PageID(w*64 + uint(bits.TrailingZeros64(b.words[w])))
+		}
+	}
+	return NoPage
+}
+
+// Clone returns a copy of the bitmap. The migration manager clones the
+// dirty bitmap at suspend time to ship it to the destination.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{words: make([]uint64, len(b.words)), n: b.n, count: b.count}
+	copy(c.words, b.words)
+	return c
+}
+
+// CopyFrom overwrites this bitmap with the contents of other. The bitmaps
+// must cover the same number of pages.
+func (b *Bitmap) CopyFrom(other *Bitmap) {
+	if b.n != other.n {
+		panic("mem: CopyFrom with mismatched bitmap sizes")
+	}
+	copy(b.words, other.words)
+	b.count = other.count
+}
+
+// Or sets every bit that is set in other. The bitmaps must cover the same
+// number of pages.
+func (b *Bitmap) Or(other *Bitmap) {
+	if b.n != other.n {
+		panic("mem: Or with mismatched bitmap sizes")
+	}
+	c := 0
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+		c += bits.OnesCount64(b.words[i])
+	}
+	b.count = c
+}
+
+// AndNot clears every bit that is set in other. The bitmaps must cover the
+// same number of pages.
+func (b *Bitmap) AndNot(other *Bitmap) {
+	if b.n != other.n {
+		panic("mem: AndNot with mismatched bitmap sizes")
+	}
+	c := 0
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+		c += bits.OnesCount64(b.words[i])
+	}
+	b.count = c
+}
+
+// ForEachSet calls fn for every set bit in ascending order. fn returning
+// false stops the iteration.
+func (b *Bitmap) ForEachSet(fn func(p PageID) bool) {
+	for p := b.NextSet(0); p != NoPage; p = b.NextSet(p + 1) {
+		if !fn(p) {
+			return
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package mem
+
+// Clock implements second-chance (clock) page replacement over a Table.
+// Reclaim asks it for victims; referenced pages get their bit cleared and a
+// second chance, unreferenced resident pages are evicted. This approximates
+// Linux's LRU well enough that the "cold pages accumulate on the swap
+// device, hot pages stay resident" behaviour the paper depends on emerges
+// naturally.
+type Clock struct {
+	t    *Table
+	hand PageID
+}
+
+// NewClock returns a clock sweeping the given table.
+func NewClock(t *Table) *Clock { return &Clock{t: t} }
+
+// Hand returns the current clock hand position (exported for tests and
+// introspection).
+func (c *Clock) Hand() PageID { return c.hand }
+
+// FindVictims appends up to max eviction candidates to out and returns the
+// extended slice. Only pages in StateResident are candidates; pages with
+// the referenced bit get it cleared and are skipped on the first pass. The
+// sweep gives every page at most two visits per call, so it terminates even
+// when everything is referenced.
+func (c *Clock) FindVictims(max int, out []PageID) []PageID {
+	if max <= 0 {
+		return out
+	}
+	n := PageID(c.t.Len())
+	// Two full sweeps: the first clears referenced bits, the second can
+	// then evict pages that were referenced at the start of the call. A
+	// page selected on the first sweep stays StateResident until the caller
+	// transitions it, so the second sweep must not select it again.
+	var picked map[PageID]struct{}
+	for visited := PageID(0); visited < 2*n && max > 0; visited++ {
+		p := c.hand
+		c.hand++
+		if c.hand >= n {
+			c.hand = 0
+		}
+		if c.t.State(p) != StateResident {
+			continue
+		}
+		if c.t.Referenced(p) {
+			c.t.ClearReferenced(p)
+			continue
+		}
+		if visited >= n {
+			if picked == nil {
+				picked = make(map[PageID]struct{}, len(out))
+				for _, q := range out {
+					picked[q] = struct{}{}
+				}
+			}
+			if _, dup := picked[p]; dup {
+				continue
+			}
+		}
+		out = append(out, p)
+		if picked != nil {
+			picked[p] = struct{}{}
+		}
+		max--
+	}
+	return out
+}

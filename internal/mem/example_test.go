@@ -1,0 +1,30 @@
+package mem_test
+
+import (
+	"fmt"
+
+	"agilemig/internal/mem"
+)
+
+// A dirty bitmap drives each pre-copy round: sync it from the table, then
+// clear bits as pages are sent.
+func ExampleTable_CollectDirty() {
+	t := mem.NewTable(8)
+	t.SetState(2, mem.StateResident)
+	t.SetDirty(2)
+	t.SetState(5, mem.StateResident)
+	t.SetDirty(5)
+
+	round := mem.NewBitmap(8)
+	t.CollectDirty(round)
+	round.ForEachSet(func(p mem.PageID) bool {
+		fmt.Println("send page", p)
+		t.ClearDirty(p)
+		return true
+	})
+	fmt.Println("remaining dirty:", t.DirtyCount())
+	// Output:
+	// send page 2
+	// send page 5
+	// remaining dirty: 0
+}

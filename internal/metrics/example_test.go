@@ -1,0 +1,19 @@
+package metrics_test
+
+import (
+	"os"
+
+	"agilemig/internal/metrics"
+)
+
+// Tables render aligned, paper-style rows.
+func ExampleTable() {
+	t := metrics.NewTable("Total migration time (s)", "workload", "pre-copy", "post-copy", "agile")
+	t.AddF("YCSB/Redis", 470, 247, 108)
+	t.AddF("Sysbench", 182.66, 157.56, 80.37)
+	_ = t.WriteCSV(os.Stdout)
+	// Output:
+	// workload,pre-copy,post-copy,agile
+	// YCSB/Redis,470,247,108
+	// Sysbench,182.66,157.56,80.37
+}

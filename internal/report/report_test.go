@@ -1,0 +1,46 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs scenarios")
+	}
+	var sb strings.Builder
+	// A tiny scale keeps this test fast; the shape checks may legitimately
+	// report DEVIATION at 0.05 (compression), so only structure is
+	// asserted here — the experiments package tests assert shapes at 0.1.
+	Generate(&sb, Options{Scale: 0.05, Seed: 1, Pressure: false, Sweep: false,
+		Tables: false, WSS: true, Ablation: false})
+	out := sb.String()
+	for _, want := range []string{
+		"# Measured results",
+		"Figures 9–10",
+		"Reservation ≈ working set",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckRendering(t *testing.T) {
+	if got := check(true, "x"); !strings.HasPrefix(got, "PASS") {
+		t.Errorf("check(true) = %q", got)
+	}
+	if got := check(false, "x"); !strings.HasPrefix(got, "DEVIATION") {
+		t.Errorf("check(false) = %q", got)
+	}
+}
+
+func TestScaledRendering(t *testing.T) {
+	if scaled(-1, 0.25) != "-" {
+		t.Error("missing value not rendered as -")
+	}
+	if scaled(10, 0.25) != "40.0" {
+		t.Errorf("scaled(10, .25) = %q", scaled(10, 0.25))
+	}
+}

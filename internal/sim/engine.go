@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Phase orders component work within a single tick. Events always fire
+// first; then each phase runs its tickers in registration order. The order
+// is chosen so that, within one tick, workloads issue demand before devices
+// and the network serve it, and control planes observe the tick's final
+// state.
+type Phase int
+
+const (
+	// PhaseControl runs first: cluster controllers, migration round logic,
+	// WSS trackers — anything that reconfigures the system for this tick.
+	PhaseControl Phase = iota
+	// PhaseWorkload runs application clients and guest access generation.
+	PhaseWorkload
+	// PhaseMemory runs cgroup reclaim and other memory-management work that
+	// turns workload pressure into device requests.
+	PhaseMemory
+	// PhaseDevice drains block-device request queues.
+	PhaseDevice
+	// PhaseNetwork arbitrates NIC bandwidth and delivers network payloads.
+	PhaseNetwork
+	// PhaseCompletion runs handlers that react to this tick's deliveries
+	// (fault completions releasing stalled operations, and similar).
+	PhaseCompletion
+	// PhaseMetrics samples state after everything else has settled.
+	PhaseMetrics
+
+	numPhases
+)
+
+// Ticker is periodic work registered with an Engine.
+type Ticker interface {
+	Tick(now Time)
+}
+
+// TickerFunc adapts a function to the Ticker interface.
+type TickerFunc func(now Time)
+
+// Tick calls f(now).
+func (f TickerFunc) Tick(now Time) { f(now) }
+
+type scheduledEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(scheduledEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation kernel: a virtual clock, a registry of per-tick
+// workers, and an event queue. It is not safe for concurrent use; the whole
+// simulation is single-threaded by design so that runs are deterministic.
+type Engine struct {
+	now     Time
+	tickLen time.Duration
+	tickers [numPhases][]Ticker
+	events  eventQueue
+	seq     uint64
+	stopped bool
+	rng     *RNG
+}
+
+// NewEngine returns an engine with the given master seed and the default
+// tick length.
+func NewEngine(seed uint64) *Engine {
+	return NewEngineTick(seed, DefaultTickLen)
+}
+
+// NewEngineTick returns an engine whose ticks represent the given simulated
+// duration.
+func NewEngineTick(seed uint64, tickLen time.Duration) *Engine {
+	if tickLen <= 0 {
+		panic("sim: non-positive tick length")
+	}
+	return &Engine{tickLen: tickLen, rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time in ticks.
+func (e *Engine) Now() Time { return e.now }
+
+// NowSeconds returns the current simulated time in seconds.
+func (e *Engine) NowSeconds() float64 { return Seconds(e.now, e.tickLen) }
+
+// TickLen returns the simulated length of one tick.
+func (e *Engine) TickLen() time.Duration { return e.tickLen }
+
+// TicksPerSecond returns how many ticks make up one simulated second.
+func (e *Engine) TicksPerSecond() float64 { return 1 / e.tickLen.Seconds() }
+
+// DurationOf converts a wall-style duration to ticks, rounding up.
+func (e *Engine) DurationOf(d time.Duration) Duration { return Ticks(d, e.tickLen) }
+
+// SecondsToTicks converts simulated seconds to a tick count, rounding up.
+func (e *Engine) SecondsToTicks(s float64) Duration {
+	return e.DurationOf(time.Duration(s * float64(time.Second)))
+}
+
+// RNG returns the engine's master random stream. Components should derive
+// their own stream with Split rather than drawing from it directly.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// AddTicker registers periodic work in the given phase. Tickers cannot be
+// removed; long-lived components should ignore ticks once idle (an idle
+// ticker is a handful of nanoseconds).
+func (e *Engine) AddTicker(p Phase, t Ticker) {
+	if p < 0 || p >= numPhases {
+		panic(fmt.Sprintf("sim: invalid phase %d", p))
+	}
+	e.tickers[p] = append(e.tickers[p], t)
+}
+
+// AddTickerFunc registers a function as periodic work in the given phase.
+func (e *Engine) AddTickerFunc(p Phase, f func(now Time)) {
+	e.AddTicker(p, TickerFunc(f))
+}
+
+// Schedule runs fn at the start of the given tick. Scheduling in the past
+// (or at the current tick) fires at the start of the next tick: within a
+// tick, the event pump has already run.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at <= e.now {
+		at = e.now + 1
+	}
+	e.seq++
+	heap.Push(&e.events, scheduledEvent{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d ticks from now (at least one tick in the future).
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 1 {
+		d = 1
+	}
+	e.Schedule(e.now+Time(d), fn)
+}
+
+// AfterSeconds runs fn the given number of simulated seconds from now.
+func (e *Engine) AfterSeconds(s float64, fn func()) {
+	e.After(e.SecondsToTicks(s), fn)
+}
+
+// Every runs fn every d ticks until it returns false.
+func (e *Engine) Every(d Duration, fn func(now Time) bool) {
+	if d < 1 {
+		d = 1
+	}
+	var rearm func()
+	rearm = func() {
+		if fn(e.now) {
+			e.After(d, rearm)
+		}
+	}
+	e.After(d, rearm)
+}
+
+// Stop makes Run return after the current tick completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step advances the simulation by one tick: the clock moves forward, due
+// events fire (in schedule order), then every phase runs its tickers.
+func (e *Engine) Step() {
+	e.now++
+	for len(e.events) > 0 && e.events[0].at <= e.now {
+		ev := heap.Pop(&e.events).(scheduledEvent)
+		ev.fn()
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		for _, t := range e.tickers[p] {
+			t.Tick(e.now)
+		}
+	}
+}
+
+// Run advances the simulation until the clock reaches the given time or
+// Stop is called.
+func (e *Engine) Run(until Time) {
+	for e.now < until && !e.stopped {
+		e.Step()
+	}
+}
+
+// RunSeconds advances the simulation by the given number of simulated
+// seconds from the current time.
+func (e *Engine) RunSeconds(s float64) {
+	e.Run(e.now + Time(e.SecondsToTicks(s)))
+}

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineClockAdvances(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("new engine at %v, want 0", e.Now())
+	}
+	e.Run(100)
+	if e.Now() != 100 {
+		t.Fatalf("after Run(100) clock at %v", e.Now())
+	}
+	if got := e.NowSeconds(); got != 0.1 {
+		t.Fatalf("NowSeconds = %v, want 0.1 (1ms ticks)", got)
+	}
+}
+
+func TestEnginePhaseOrderWithinTick(t *testing.T) {
+	e := NewEngine(1)
+	var order []Phase
+	for _, p := range []Phase{PhaseMetrics, PhaseWorkload, PhaseControl, PhaseNetwork, PhaseDevice, PhaseMemory, PhaseCompletion} {
+		p := p
+		e.AddTickerFunc(p, func(Time) { order = append(order, p) })
+	}
+	e.Step()
+	want := []Phase{PhaseControl, PhaseWorkload, PhaseMemory, PhaseDevice, PhaseNetwork, PhaseCompletion, PhaseMetrics}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d tickers, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("phase order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineRegistrationOrderWithinPhase(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.AddTickerFunc(PhaseWorkload, func(Time) { order = append(order, i) })
+	}
+	e.Step()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tickers ran out of registration order: %v", order)
+		}
+	}
+}
+
+func TestScheduleFiresAtTime(t *testing.T) {
+	e := NewEngine(1)
+	var firedAt Time = -1
+	e.Schedule(50, func() { firedAt = e.Now() })
+	e.Run(49)
+	if firedAt != -1 {
+		t.Fatalf("event fired early at %v", firedAt)
+	}
+	e.Run(100)
+	if firedAt != 50 {
+		t.Fatalf("event fired at %v, want 50", firedAt)
+	}
+}
+
+func TestSchedulePastFiresNextTick(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(10)
+	var firedAt Time
+	e.Schedule(3, func() { firedAt = e.Now() })
+	e.Run(20)
+	if firedAt != 11 {
+		t.Fatalf("past-scheduled event fired at %v, want 11", firedAt)
+	}
+}
+
+func TestScheduleSameTickFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(10, func() { order = append(order, i) })
+	}
+	e.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEventsFireBeforeTickers(t *testing.T) {
+	e := NewEngine(1)
+	var log []string
+	e.AddTickerFunc(PhaseControl, func(now Time) {
+		if now == 10 {
+			log = append(log, "ticker")
+		}
+	})
+	e.Schedule(10, func() { log = append(log, "event") })
+	e.Run(10)
+	if len(log) != 2 || log[0] != "event" || log[1] != "ticker" {
+		t.Fatalf("order = %v, want [event ticker]", log)
+	}
+}
+
+func TestEveryRepeatsAndStops(t *testing.T) {
+	e := NewEngine(1)
+	var fires []Time
+	e.Every(10, func(now Time) bool {
+		fires = append(fires, now)
+		return len(fires) < 3
+	})
+	e.Run(1000)
+	if len(fires) != 3 {
+		t.Fatalf("Every fired %d times, want 3", len(fires))
+	}
+	if fires[0] != 10 || fires[1] != 20 || fires[2] != 30 {
+		t.Fatalf("Every fired at %v, want [10 20 30]", fires)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(5, func() { e.Stop() })
+	e.Run(1000)
+	if e.Now() != 5 {
+		t.Fatalf("stopped at %v, want 5", e.Now())
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestAfterMinimumOneTick(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.After(0, func() { fired = true })
+	e.Step()
+	if !fired {
+		t.Fatal("After(0) did not fire on the next tick")
+	}
+}
+
+func TestTicksConversionRoundsUp(t *testing.T) {
+	if got := Ticks(1500*time.Microsecond, time.Millisecond); got != 2 {
+		t.Fatalf("Ticks(1.5ms, 1ms) = %d, want 2", got)
+	}
+	if got := Ticks(0, time.Millisecond); got != 0 {
+		t.Fatalf("Ticks(0) = %d, want 0", got)
+	}
+	if got := Ticks(time.Millisecond, time.Millisecond); got != 1 {
+		t.Fatalf("Ticks(1ms, 1ms) = %d, want 1", got)
+	}
+}
+
+func TestSecondsToTicks(t *testing.T) {
+	e := NewEngine(1)
+	if got := e.SecondsToTicks(2.5); got != 2500 {
+		t.Fatalf("SecondsToTicks(2.5) = %d, want 2500 at 1ms ticks", got)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced the same first draw")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	f := func(n uint8) bool {
+		size := int(n%64) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	a, b := r.Uint64(), r.Uint64()
+	if a == 0 && b == 0 {
+		t.Fatal("zero-seeded RNG emitting zeros")
+	}
+}

@@ -1,0 +1,327 @@
+// Package simnet models the cluster's Ethernet at flow granularity. Each
+// host owns a full-duplex NIC with finite egress and ingress bandwidth;
+// traffic moves over point-to-point flows (application request/response
+// streams, the migration TCP connection, demand-paging RPCs, VMD page
+// reads/writes). Every simulated tick the network arbitrates bandwidth
+// among flows with pending bytes using max-min fairness across all egress
+// and ingress ports — the same first-order behaviour TCP flows sharing a
+// switch exhibit — and delivers bytes after the flow's one-way latency.
+//
+// This is where the paper's interference effects come from: a pre-copy
+// stream saturating the source NIC steals bandwidth from the application's
+// request/response traffic, and VMD reads at the destination compete with
+// active-push traffic.
+package simnet
+
+import (
+	"fmt"
+
+	"agilemig/internal/sim"
+)
+
+// Network owns all NICs and flows and performs per-tick arbitration. It
+// registers itself in sim.PhaseNetwork.
+type Network struct {
+	eng   *sim.Engine
+	nics  []*NIC
+	flows []*Flow
+}
+
+// New returns a network bound to the engine.
+func New(eng *sim.Engine) *Network {
+	n := &Network{eng: eng}
+	eng.AddTicker(sim.PhaseNetwork, n)
+	return n
+}
+
+// NIC is one host's network interface.
+type NIC struct {
+	name       string
+	egressBpt  int64 // bytes per tick
+	ingressBpt int64
+	net        *Network
+
+	// statistics
+	egressBytes  int64
+	ingressBytes int64
+}
+
+// NewNIC creates a full-duplex NIC with the given bandwidth in bytes per
+// second (e.g. 1 Gbps Ethernet = 125_000_000).
+func (n *Network) NewNIC(name string, bytesPerSecond int64) *NIC {
+	tps := n.eng.TicksPerSecond()
+	bpt := int64(float64(bytesPerSecond) / tps)
+	if bpt < 1 {
+		bpt = 1
+	}
+	nic := &NIC{name: name, egressBpt: bpt, ingressBpt: bpt, net: n}
+	n.nics = append(n.nics, nic)
+	return nic
+}
+
+// Name returns the NIC's name.
+func (nc *NIC) Name() string { return nc.name }
+
+// BytesSent returns cumulative bytes transmitted by this NIC.
+func (nc *NIC) BytesSent() int64 { return nc.egressBytes }
+
+// BytesReceived returns cumulative bytes received by this NIC.
+func (nc *NIC) BytesReceived() int64 { return nc.ingressBytes }
+
+type pendingMessage struct {
+	endOffset int64 // cumulative delivered-byte position completing this message
+	fn        func()
+}
+
+type inFlight struct {
+	arrive sim.Time
+	bytes  int64
+}
+
+// Flow is a reliable, ordered byte stream between two NICs (one direction).
+// Callers either push raw bytes (Send) or framed messages whose callback
+// fires when the last byte arrives (SendMessage). Message callbacks fire in
+// FIFO order.
+type Flow struct {
+	name    string
+	src     *NIC
+	dst     *NIC
+	latency sim.Duration
+
+	backlog   int64 // offered, not yet transmitted
+	offered   int64 // cumulative offered bytes
+	delivered int64 // cumulative delivered bytes
+	transit   []inFlight
+	msgs      []pendingMessage
+	closed    bool
+
+	// arbitration scratch
+	rate    int64
+	settled bool
+}
+
+// NewFlow creates a flow from src to dst with the given one-way latency.
+// Bytes transmitted in tick T are delivered at tick T+1+latencyTicks
+// (store-and-forward plus propagation).
+func (n *Network) NewFlow(name string, src, dst *NIC, latency sim.Duration) *Flow {
+	if src == dst {
+		panic("simnet: flow with identical endpoints")
+	}
+	f := &Flow{name: name, src: src, dst: dst, latency: latency}
+	n.flows = append(n.flows, f)
+	return f
+}
+
+// Name returns the flow's name.
+func (f *Flow) Name() string { return f.name }
+
+// Send offers raw stream bytes with no completion notification.
+func (f *Flow) Send(bytes int64) {
+	if bytes < 0 {
+		panic("simnet: negative send")
+	}
+	if f.closed {
+		return
+	}
+	f.backlog += bytes
+	f.offered += bytes
+}
+
+// SendMessage offers a framed message; fn (if non-nil) runs when its final
+// byte is delivered at the destination. Zero-byte messages are delivered
+// after the flow latency behind any queued bytes.
+func (f *Flow) SendMessage(bytes int64, fn func()) {
+	if bytes < 0 {
+		panic("simnet: negative message size")
+	}
+	if f.closed {
+		return
+	}
+	f.backlog += bytes
+	f.offered += bytes
+	if fn != nil {
+		f.msgs = append(f.msgs, pendingMessage{endOffset: f.offered, fn: fn})
+	}
+}
+
+// Close drops any undelivered traffic and ignores future sends. Pending
+// message callbacks never fire. The migration engines close their flows
+// when a migration completes or aborts.
+func (f *Flow) Close() {
+	f.closed = true
+	f.backlog = 0
+	f.transit = nil
+	f.msgs = nil
+}
+
+// Closed reports whether the flow has been closed.
+func (f *Flow) Closed() bool { return f.closed }
+
+// Backlog returns bytes offered but not yet transmitted.
+func (f *Flow) Backlog() int64 { return f.backlog }
+
+// Delivered returns cumulative bytes delivered to the destination.
+func (f *Flow) Delivered() int64 { return f.delivered }
+
+// Offered returns cumulative bytes offered to the flow.
+func (f *Flow) Offered() int64 { return f.offered }
+
+// InFlight returns bytes transmitted but not yet delivered.
+func (f *Flow) InFlight() int64 {
+	var t int64
+	for _, x := range f.transit {
+		t += x.bytes
+	}
+	return t
+}
+
+// Tick delivers due bytes and then arbitrates this tick's bandwidth.
+func (n *Network) Tick(now sim.Time) {
+	n.deliver(now)
+	n.arbitrate()
+}
+
+func (n *Network) deliver(now sim.Time) {
+	for _, f := range n.flows {
+		if f.closed {
+			continue
+		}
+		i := 0
+		for i < len(f.transit) && f.transit[i].arrive <= now {
+			f.delivered += f.transit[i].bytes
+			f.dst.ingressBytes += f.transit[i].bytes
+			i++
+		}
+		if i > 0 {
+			f.transit = f.transit[:copy(f.transit, f.transit[i:])]
+		}
+		for len(f.msgs) > 0 && f.msgs[0].endOffset <= f.delivered {
+			fn := f.msgs[0].fn
+			f.msgs = f.msgs[:copy(f.msgs, f.msgs[1:])]
+			fn()
+		}
+	}
+}
+
+// arbitrate assigns this tick's transmission rate to every flow with a
+// backlog using progressive filling (max-min fairness): repeatedly find the
+// most constrained port, give its flows an equal share, settle them, and
+// recompute. Flows whose demand (backlog) is below their share settle at
+// their demand, returning capacity to others.
+func (n *Network) arbitrate() {
+	active := n.activeFlows()
+	if len(active) == 0 {
+		return
+	}
+	egCap := make(map[*NIC]int64, len(n.nics))
+	inCap := make(map[*NIC]int64, len(n.nics))
+	egCnt := make(map[*NIC]int, len(n.nics))
+	inCnt := make(map[*NIC]int, len(n.nics))
+	for _, f := range active {
+		f.rate = 0
+		f.settled = false
+		if _, ok := egCap[f.src]; !ok {
+			egCap[f.src] = f.src.egressBpt
+		}
+		if _, ok := inCap[f.dst]; !ok {
+			inCap[f.dst] = f.dst.ingressBpt
+		}
+		egCnt[f.src]++
+		inCnt[f.dst]++
+	}
+	remaining := len(active)
+	for remaining > 0 {
+		// Find the bottleneck share across all ports with unsettled flows.
+		share := int64(-1)
+		for nic, cnt := range egCnt {
+			if cnt == 0 {
+				continue
+			}
+			s := egCap[nic] / int64(cnt)
+			if share < 0 || s < share {
+				share = s
+			}
+		}
+		for nic, cnt := range inCnt {
+			if cnt == 0 {
+				continue
+			}
+			s := inCap[nic] / int64(cnt)
+			if share < 0 || s < share {
+				share = s
+			}
+		}
+		if share < 0 {
+			break
+		}
+		// Settle flows whose demand is at or below the share; if none,
+		// settle every flow on the bottleneck port at exactly the share.
+		settledAny := false
+		for _, f := range active {
+			if f.settled {
+				continue
+			}
+			demand := f.backlog
+			if demand <= share {
+				f.rate = demand
+				f.settled = true
+				settledAny = true
+				egCap[f.src] -= demand
+				inCap[f.dst] -= demand
+				egCnt[f.src]--
+				inCnt[f.dst]--
+				remaining--
+			}
+		}
+		if settledAny {
+			continue
+		}
+		// No flow is demand-limited: the bottleneck port's flows each get
+		// the share. Identify the port achieving the minimum.
+		for _, f := range active {
+			if f.settled {
+				continue
+			}
+			bottleneck := egCap[f.src]/int64(egCnt[f.src]) == share ||
+				inCap[f.dst]/int64(inCnt[f.dst]) == share
+			if !bottleneck {
+				continue
+			}
+			f.rate = share
+			f.settled = true
+			egCap[f.src] -= share
+			inCap[f.dst] -= share
+			egCnt[f.src]--
+			inCnt[f.dst]--
+			remaining--
+		}
+	}
+	now := n.eng.Now()
+	for _, f := range active {
+		if f.rate <= 0 {
+			continue
+		}
+		bytes := f.rate
+		if bytes > f.backlog {
+			bytes = f.backlog
+		}
+		f.backlog -= bytes
+		f.src.egressBytes += bytes
+		f.transit = append(f.transit, inFlight{arrive: now + 1 + sim.Time(f.latency), bytes: bytes})
+	}
+}
+
+func (n *Network) activeFlows() []*Flow {
+	var active []*Flow
+	for _, f := range n.flows {
+		if !f.closed && f.backlog > 0 {
+			active = append(active, f)
+		}
+	}
+	return active
+}
+
+// String describes the network for debugging.
+func (n *Network) String() string {
+	return fmt.Sprintf("simnet{%d nics, %d flows}", len(n.nics), len(n.flows))
+}

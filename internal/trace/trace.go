@@ -1,0 +1,156 @@
+// Package trace records phase-level events from a live migration — round
+// boundaries, suspension, switchover, drain — so operators (and tests) can
+// reconstruct what the Migration Manager did and when, without digging
+// through counters. Events are kept in a bounded ring buffer; recording is
+// allocation-light and safe to leave enabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	// MigrationStart marks Start() of a migration.
+	MigrationStart Kind = iota
+	// RoundStart marks the beginning of a pre-copy round (or Agile's live
+	// round).
+	RoundStart
+	// RoundEnd marks a completed round scan; detail carries dirty counts.
+	RoundEnd
+	// Throttle marks an auto-converge vCPU throttle.
+	Throttle
+	// Suspend marks the VM's suspension at the source.
+	Suspend
+	// CPUStateSent marks the CPU-state/dirty-bitmap message entering the
+	// stream.
+	CPUStateSent
+	// Switchover marks execution resuming at the destination.
+	Switchover
+	// SourceDrained marks the last pushed page leaving the source.
+	SourceDrained
+	// Complete marks the migration's end (source freed).
+	Complete
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case MigrationStart:
+		return "start"
+	case RoundStart:
+		return "round-start"
+	case RoundEnd:
+		return "round-end"
+	case Throttle:
+		return "throttle"
+	case Suspend:
+		return "suspend"
+	case CPUStateSent:
+		return "cpu-state-sent"
+	case Switchover:
+		return "switchover"
+	case SourceDrained:
+		return "source-drained"
+	case Complete:
+		return "complete"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	T      float64 // simulated seconds
+	Kind   Kind
+	Detail string
+}
+
+// Trace is a bounded event recorder. The zero value is not usable; call
+// New.
+type Trace struct {
+	events []Event
+	max    int
+	drops  int
+}
+
+// DefaultCapacity bounds a trace when 0 is passed to New.
+const DefaultCapacity = 1024
+
+// New returns a trace holding at most capacity events (0 selects the
+// default). The oldest events are dropped once full.
+func New(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Trace{max: capacity}
+}
+
+// Add records an event. A nil Trace is a no-op, so callers can thread an
+// optional trace without nil checks.
+func (t *Trace) Add(now float64, kind Kind, format string, args ...interface{}) {
+	if t == nil {
+		return
+	}
+	if len(t.events) >= t.max {
+		t.events = t.events[:copy(t.events, t.events[1:])]
+		t.drops++
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	t.events = append(t.events, Event{T: now, Kind: kind, Detail: detail})
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Dropped returns how many events were discarded to stay within capacity.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return t.drops
+}
+
+// Find returns the first event of the given kind, or nil.
+func (t *Trace) Find(kind Kind) *Event {
+	for i := range t.Events() {
+		if t.events[i].Kind == kind {
+			return &t.events[i]
+		}
+	}
+	return nil
+}
+
+// Count returns how many events of the kind were recorded.
+func (t *Trace) Count(kind Kind) int {
+	n := 0
+	for _, e := range t.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the trace as one line per event.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "%9.3fs  %-14s %s\n", e.T, e.Kind, e.Detail)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package vmd
+
+import (
+	"testing"
+
+	"agilemig/internal/blockdev"
+	"agilemig/internal/sim"
+	"agilemig/internal/simnet"
+)
+
+// diskRig builds one server with memory capacity memPages and a disk tier
+// of diskPages behind it.
+func diskRig(t *testing.T, memPages, diskPages int64) (*sim.Engine, *Server, *Client, *Namespace) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	v := New(eng, net)
+	srv := v.AddServer("srv", net.NewNIC("i", 125_000_000), memPages)
+	if diskPages > 0 {
+		dev := blockdev.New(eng, blockdev.Config{Name: "srv-ssd", BytesPerSecond: 50 << 20, IOPS: 5000})
+		srv.AttachDisk(dev, diskPages)
+	}
+	c := v.NewClient("host", net.NewNIC("h", 125_000_000), 0)
+	ns := v.CreateNamespace("vm", 4096)
+	ns.AttachTo(c)
+	return eng, srv, c, ns
+}
+
+func TestDiskSpillAfterMemoryFull(t *testing.T) {
+	eng, srv, c, ns := diskRig(t, 10, 100)
+	done := 0
+	for i := 0; i < 30; i++ {
+		ns.Write(c, uint32(i), func() { done++ })
+	}
+	eng.RunSeconds(5)
+	if done != 30 {
+		t.Fatalf("only %d/30 writes completed", done)
+	}
+	if srv.Used() != 10 {
+		t.Fatalf("memory tier holds %d, want 10 (its capacity)", srv.Used())
+	}
+	stores, _, used := srv.DiskStats()
+	if used != 20 || stores != 20 {
+		t.Fatalf("disk tier used=%d stores=%d, want 20/20", used, stores)
+	}
+}
+
+func TestDiskReadsSlowerThanMemoryReads(t *testing.T) {
+	eng, _, c, ns := diskRig(t, 1, 100)
+	// Offset 0 lands in memory; offset 1 spills to disk.
+	ns.Write(c, 0, nil)
+	eng.RunSeconds(1)
+	ns.Write(c, 1, nil)
+	eng.RunSeconds(1)
+
+	var memDone, diskDone sim.Time
+	start := eng.Now()
+	ns.Read(c, 0, func() { memDone = eng.Now() - start })
+	eng.RunSeconds(1)
+	start = eng.Now()
+	ns.Read(c, 1, func() { diskDone = eng.Now() - start })
+	eng.RunSeconds(1)
+	if memDone == 0 || diskDone == 0 {
+		t.Fatal("reads never completed")
+	}
+	if diskDone <= memDone {
+		t.Fatalf("disk read (%d ticks) not slower than memory read (%d ticks)", diskDone, memDone)
+	}
+}
+
+func TestDiskTierFreeReleasesRightTier(t *testing.T) {
+	eng, srv, c, ns := diskRig(t, 2, 100)
+	for i := 0; i < 5; i++ {
+		ns.Write(c, uint32(i), nil)
+	}
+	eng.RunSeconds(2)
+	_, _, diskUsed := srv.DiskStats()
+	if srv.Used() != 2 || diskUsed != 3 {
+		t.Fatalf("tiers %d/%d, want 2/3", srv.Used(), diskUsed)
+	}
+	// Free one memory-tier and one disk-tier offset.
+	ns.Free(0) // memory (first writes land in memory)
+	ns.Free(4) // disk
+	_, _, diskUsed = srv.DiskStats()
+	if srv.Used() != 1 || diskUsed != 2 {
+		t.Fatalf("after frees: %d/%d, want 1/2", srv.Used(), diskUsed)
+	}
+}
+
+func TestDiskTierNACKWhenBothFull(t *testing.T) {
+	eng, srv, c, ns := diskRig(t, 2, 2)
+	done := 0
+	for i := 0; i < 4; i++ {
+		ns.Write(c, uint32(i), func() { done++ })
+	}
+	eng.RunSeconds(2)
+	if done != 4 {
+		t.Fatalf("4 writes should fit exactly: %d", done)
+	}
+	// The 5th must NACK everywhere and panic on pool exhaustion.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write into a fully exhausted pool did not panic")
+		}
+	}()
+	ns.Write(c, 4, nil)
+	for i := 0; i < 5000; i++ {
+		eng.Step()
+	}
+	_ = srv
+}
+
+func TestDiskTierOverwriteStaysOnDisk(t *testing.T) {
+	eng, srv, c, ns := diskRig(t, 1, 100)
+	ns.Write(c, 0, nil) // memory
+	ns.Write(c, 1, nil) // disk
+	eng.RunSeconds(1)
+	stores, _, used := srv.DiskStats()
+	ns.Write(c, 1, nil) // overwrite the spilled page
+	eng.RunSeconds(1)
+	stores2, _, used2 := srv.DiskStats()
+	if used2 != used {
+		t.Fatalf("overwrite changed disk usage: %d -> %d", used, used2)
+	}
+	if stores2 != stores+1 {
+		t.Fatalf("overwrite did not hit the disk tier: stores %d -> %d", stores, stores2)
+	}
+}
+
+func TestGossipAdvertisesDiskCapacity(t *testing.T) {
+	// A memory-full server with free disk must keep receiving load-aware
+	// writes (the hint includes the disk tier).
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	v := New(eng, net)
+	small := v.AddServer("small", net.NewNIC("i", 125_000_000), 4)
+	dev := blockdev.New(eng, blockdev.Config{Name: "d", BytesPerSecond: 50 << 20, IOPS: 5000})
+	small.AttachDisk(dev, 1000)
+	c := v.NewClient("host", net.NewNIC("h", 125_000_000), 0)
+	ns := v.CreateNamespace("vm", 1024)
+	ns.AttachTo(c)
+	done := 0
+	for i := 0; i < 100; i++ {
+		ns.Write(c, uint32(i), func() { done++ })
+	}
+	eng.RunSeconds(10)
+	if done != 100 {
+		t.Fatalf("only %d/100 writes accepted with a disk tier available", done)
+	}
+	_, _, rejected := small.Stats()
+	if rejected > 0 {
+		t.Fatalf("%d rejects despite ample disk capacity", rejected)
+	}
+}
+
+func TestAttachDiskValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	v := New(eng, net)
+	srv := v.AddServer("srv", net.NewNIC("i", 125_000_000), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-capacity disk did not panic")
+		}
+	}()
+	srv.AttachDisk(nil, 0)
+}

@@ -1,0 +1,449 @@
+// Package vmd implements the Virtualized Memory Device of the paper's §III-A
+// and §IV-A: a distributed page store that aggregates the free memory of
+// intermediate cluster hosts and exposes it to each hypervisor as a block
+// device. The aggregate space is divided into namespaces; each migrating VM
+// gets one namespace as its private, portable swap device.
+//
+// The VMD client module runs on source and destination hosts; the VMD
+// server module runs on every intermediate host. They talk over the
+// simulated network, so VMD traffic competes with migration and application
+// traffic for NIC bandwidth exactly as it did on the paper's testbed.
+// Placement is load-aware round-robin: the next server in rotation that
+// reports unused memory receives the page; server memory is allocated only
+// when a write arrives, and servers gossip their free capacity to clients
+// periodically.
+package vmd
+
+import (
+	"fmt"
+
+	"agilemig/internal/blockdev"
+	"agilemig/internal/mem"
+	"agilemig/internal/sim"
+	"agilemig/internal/simnet"
+)
+
+// Message sizes on the wire. A stored page travels with a small header; the
+// control messages mirror MemX's compact request records.
+const (
+	PageMsgBytes   = mem.PageSize + 64
+	RequestBytes   = 64
+	AckBytes       = 64
+	GossipBytes    = 64
+	gossipInterval = 1.0 // seconds between capacity updates
+)
+
+const noServer int16 = -1
+
+// VMD coordinates servers, clients and namespaces.
+type VMD struct {
+	eng     *sim.Engine
+	net     *simnet.Network
+	servers []*Server
+}
+
+// New returns an empty VMD on the given network.
+func New(eng *sim.Engine, net *simnet.Network) *VMD {
+	return &VMD{eng: eng, net: net}
+}
+
+// Server is the VMD server kernel module on one intermediate host. Memory
+// is allocated on first write, never reserved in advance. A server may
+// additionally contribute local disk (§IV-A: "it is possible to extend the
+// amount of swap space available at the VMD by using excess disk space
+// (HDs and/or SSDs) alongside the excess memory"): once its memory is
+// full, new pages spill to the disk tier, and reads of spilled pages pay
+// the device's bandwidth and latency before the network response departs.
+type Server struct {
+	vmd      *VMD
+	idx      int16
+	name     string
+	nic      *simnet.NIC
+	capacity int64 // memory pages
+	used     int64 // memory pages in use
+
+	disk     *blockdev.Device
+	diskCap  int64
+	diskUsed int64
+
+	pagesStored int64 // cumulative successful writes
+	pagesServed int64 // cumulative reads served
+	diskStores  int64 // subset of stores that spilled to disk
+	diskServes  int64 // subset of reads served from disk
+	rejects     int64 // writes NACKed for lack of memory
+}
+
+// AttachDisk adds a disk tier of diskPages capacity behind the server's
+// memory; pages spill to it only when the memory tier is full.
+func (s *Server) AttachDisk(dev *blockdev.Device, diskPages int64) {
+	if diskPages <= 0 {
+		panic("vmd: disk tier with no capacity")
+	}
+	s.disk = dev
+	s.diskCap = diskPages
+}
+
+// DiskStats returns (spilled stores, disk-served reads, pages on disk).
+func (s *Server) DiskStats() (stores, serves, used int64) {
+	return s.diskStores, s.diskServes, s.diskUsed
+}
+
+// freePages returns the server's remaining total capacity (memory + disk).
+func (s *Server) freePages() int64 {
+	free := s.capacity - s.used
+	if s.disk != nil {
+		free += s.diskCap - s.diskUsed
+	}
+	return free
+}
+
+// AddServer registers an intermediate host contributing capacityPages of
+// free memory to the pool.
+func (v *VMD) AddServer(name string, nic *simnet.NIC, capacityPages int64) *Server {
+	if capacityPages <= 0 {
+		panic("vmd: server with no capacity")
+	}
+	s := &Server{vmd: v, idx: int16(len(v.servers)), name: name, nic: nic, capacity: capacityPages}
+	v.servers = append(v.servers, s)
+	return s
+}
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.name }
+
+// Used returns the number of pages currently stored.
+func (s *Server) Used() int64 { return s.used }
+
+// Capacity returns the server's contribution in pages.
+func (s *Server) Capacity() int64 { return s.capacity }
+
+// Stats returns cumulative (stored, served, rejected) counters.
+func (s *Server) Stats() (stored, served, rejected int64) {
+	return s.pagesStored, s.pagesServed, s.rejects
+}
+
+// serverLink is one client's connection to one server.
+type serverLink struct {
+	toServer   *simnet.Flow
+	fromServer *simnet.Flow
+	// freeHint is the capacity the server last gossiped; stale by up to one
+	// gossip interval, which is why writes can still be NACKed.
+	freeHint int64
+}
+
+// Client is the VMD client module on a source or destination host.
+type Client struct {
+	vmd     *VMD
+	name    string
+	nic     *simnet.NIC
+	links   []*serverLink
+	rr      int
+	blindRR bool
+
+	pagesWritten int64
+	pagesRead    int64
+	retries      int64
+}
+
+// SetLoadAware toggles the placement policy: load-aware round-robin (the
+// paper's algorithm, default) skips servers that gossiped zero free
+// memory; blind round-robin ignores the hints and relies on NACK-and-retry
+// alone — the ablation baseline.
+func (c *Client) SetLoadAware(on bool) { c.blindRR = !on }
+
+// NewClient creates a client on the given host NIC, with flows to and from
+// every server, and starts the capacity gossip.
+func (v *VMD) NewClient(name string, nic *simnet.NIC, latency sim.Duration) *Client {
+	c := &Client{vmd: v, name: name, nic: nic}
+	for _, s := range v.servers {
+		link := &serverLink{
+			toServer:   v.net.NewFlow(fmt.Sprintf("vmd:%s->%s", name, s.name), nic, s.nic, latency),
+			fromServer: v.net.NewFlow(fmt.Sprintf("vmd:%s<-%s", name, s.name), s.nic, nic, latency),
+			freeHint:   s.freePages(),
+		}
+		c.links = append(c.links, link)
+	}
+	// Capacity gossip: each server periodically tells each client how much
+	// memory it has left. The update itself costs network bytes.
+	v.eng.Every(v.eng.SecondsToTicks(gossipInterval), func(sim.Time) bool {
+		for i, s := range v.vmdServers() {
+			i, s := i, s
+			free := s.freePages()
+			c.links[i].fromServer.SendMessage(GossipBytes, func() {
+				c.links[i].freeHint = free
+			})
+		}
+		return true
+	})
+	return c
+}
+
+func (v *VMD) vmdServers() []*Server { return v.servers }
+
+// Name returns the client's name.
+func (c *Client) Name() string { return c.name }
+
+// Stats returns cumulative (written, read, retried) page counters.
+func (c *Client) Stats() (written, read, retried int64) {
+	return c.pagesWritten, c.pagesRead, c.retries
+}
+
+// Namespace is one VM's logical partition of the VMD: its per-VM swap
+// device. The placement table (which server holds which offset) is cluster
+// metadata and travels with the namespace across attach/detach, which is
+// what makes the swap device portable between source and destination.
+type Namespace struct {
+	vmd       *VMD
+	name      string
+	placement []int16 // offset -> server index, noServer if never written
+	onDisk    *mem.Bitmap
+	clients   map[*Client]bool
+	stored    int64
+}
+
+// CreateNamespace carves a namespace of the given size (in pages) out of
+// the pool. Size is the VM's memory size: offset o holds the VM's page o.
+func (v *VMD) CreateNamespace(name string, pages int) *Namespace {
+	if pages <= 0 {
+		panic("vmd: empty namespace")
+	}
+	p := make([]int16, pages)
+	for i := range p {
+		p[i] = noServer
+	}
+	return &Namespace{vmd: v, name: name, placement: p, onDisk: mem.NewBitmap(pages), clients: make(map[*Client]bool)}
+}
+
+// Name returns the namespace name.
+func (ns *Namespace) Name() string { return ns.name }
+
+// Pages returns the namespace size in pages.
+func (ns *Namespace) Pages() int { return len(ns.placement) }
+
+// Stored returns how many distinct offsets currently hold a page.
+func (ns *Namespace) Stored() int64 { return ns.stored }
+
+// AttachedTo reports whether the namespace is attached to the client.
+func (ns *Namespace) AttachedTo(c *Client) bool { return ns.clients[c] }
+
+// AttachCount returns the number of hosts the namespace is attached to.
+func (ns *Namespace) AttachCount() int { return len(ns.clients) }
+
+// AttachTo connects the namespace to a client (exporting it as a block
+// device on that host). During an Agile migration's push phase the
+// namespace is briefly attached at both source and destination — the paper
+// disconnects the source "once the migration of in-memory VM state
+// completes", which is after the destination has already started reading
+// cold pages.
+func (ns *Namespace) AttachTo(c *Client) { ns.clients[c] = true }
+
+// Detach disconnects the namespace from one host. Stored pages remain on
+// the servers — this is the step the paper performs at the source once the
+// in-memory state has migrated.
+func (ns *Namespace) Detach(c *Client) { delete(ns.clients, c) }
+
+// Destroy releases all server memory held by the namespace and detaches it
+// everywhere.
+func (ns *Namespace) Destroy() {
+	for off, sIdx := range ns.placement {
+		if sIdx != noServer {
+			ns.releaseSlot(uint32(off), ns.vmd.servers[sIdx])
+			ns.placement[off] = noServer
+		}
+	}
+	ns.stored = 0
+	ns.clients = make(map[*Client]bool)
+}
+
+// Write stores a page at the given offset through the given client (which
+// must be attached). fn runs when the server has stored the page and the
+// ack has returned. Overwrites go to the server already holding the offset;
+// new offsets go to the next server in round-robin order whose gossiped
+// capacity is nonzero, falling back through NACK-and-retry when the hint
+// was stale. Write panics if the client is not attached or the pool is
+// completely full — a configuration error in the scenario, not a runtime
+// condition.
+func (ns *Namespace) Write(c *Client, off uint32, fn func()) {
+	if !ns.clients[c] {
+		panic("vmd: write through unattached client on namespace " + ns.name)
+	}
+	if int(off) >= len(ns.placement) {
+		panic("vmd: write past end of namespace")
+	}
+	if sIdx := ns.placement[off]; sIdx != noServer {
+		// Overwrite in place: no new allocation.
+		ns.sendWrite(c, ns.vmd.servers[sIdx], off, false, fn, len(c.links))
+		return
+	}
+	ns.writeNew(c, off, fn, 2*len(c.links)+2, nil)
+}
+
+func (ns *Namespace) writeNew(c *Client, off uint32, fn func(), attempts int, exclude *Server) {
+	if attempts <= 0 {
+		panic(fmt.Sprintf("vmd: pool exhausted writing %s offset %d", ns.name, off))
+	}
+	s := c.pickServer(exclude)
+	ns.sendWrite(c, s, off, true, fn, attempts)
+}
+
+// pickServer implements load-aware round robin over the gossiped hints.
+// exclude, if non-nil, is a server that just NACKed this request and is
+// skipped when any alternative exists (under either policy: the client
+// knows first-hand that it is full).
+func (c *Client) pickServer(exclude *Server) *Server {
+	n := len(c.links)
+	if n == 0 {
+		panic("vmd: client has no servers")
+	}
+	if c.blindRR {
+		for i := 0; i < n; i++ {
+			idx := c.rr % n
+			c.rr = idx + 1
+			if n > 1 && exclude != nil && c.vmd.servers[idx] == exclude {
+				continue
+			}
+			return c.vmd.servers[idx]
+		}
+		idx := c.rr % n
+		c.rr = idx + 1
+		return c.vmd.servers[idx]
+	}
+	for i := 0; i < n; i++ {
+		idx := (c.rr + i) % n
+		if n > 1 && exclude != nil && c.vmd.servers[idx] == exclude {
+			continue
+		}
+		if c.links[idx].freeHint > 0 {
+			c.rr = idx + 1
+			return c.vmd.servers[idx]
+		}
+	}
+	// Every hint says full; rotate anyway and let the server NACK (hints
+	// may be stale in the optimistic direction too).
+	idx := c.rr % n
+	c.rr = idx + 1
+	return c.vmd.servers[idx]
+}
+
+func (ns *Namespace) sendWrite(c *Client, s *Server, off uint32, isNew bool, fn func(), attempts int) {
+	link := c.links[s.idx]
+	if isNew && link.freeHint > 0 {
+		// Optimistic local accounting: the next gossip refreshes the true
+		// value, but in-flight writes already consume the budget.
+		link.freeHint--
+	}
+	link.toServer.SendMessage(PageMsgBytes, func() {
+		// Page arrived at the server.
+		if isNew && s.freePages() <= 0 {
+			// NACK: server is actually full. The client retries on the
+			// next server in rotation.
+			s.rejects++
+			link.freeHint = 0
+			link.fromServer.SendMessage(AckBytes, func() {
+				c.retries++
+				ns.writeNew(c, off, fn, attempts-1, s)
+			})
+			return
+		}
+		ack := func() {
+			s.pagesStored++
+			link.fromServer.SendMessage(AckBytes, func() {
+				c.pagesWritten++
+				if fn != nil {
+					fn()
+				}
+			})
+		}
+		if isNew {
+			ns.placement[off] = s.idx
+			ns.stored++
+			if s.used < s.capacity {
+				s.used++
+			} else {
+				// Memory full: spill to the server's disk tier. The ack
+				// departs after the local write completes.
+				s.diskUsed++
+				s.diskStores++
+				ns.onDisk.Set(mem.PageID(off))
+				s.disk.Write(mem.PageSize, ack)
+				return
+			}
+		} else if ns.onDisk.Test(mem.PageID(off)) {
+			// Overwrite of a spilled page stays on disk.
+			s.diskStores++
+			s.disk.Write(mem.PageSize, ack)
+			return
+		}
+		ack()
+	})
+}
+
+// Read fetches the page at the given offset through the given client
+// (which must be attached); fn runs when the page body has been delivered.
+// Reading an offset that was never written panics: it means a migration
+// engine believed a page was on swap when it was not.
+func (ns *Namespace) Read(c *Client, off uint32, fn func()) {
+	if !ns.clients[c] {
+		panic("vmd: read through unattached client on namespace " + ns.name)
+	}
+	if int(off) >= len(ns.placement) {
+		panic("vmd: read past end of namespace")
+	}
+	sIdx := ns.placement[off]
+	if sIdx == noServer {
+		panic(fmt.Sprintf("vmd: read of unwritten offset %d in %s", off, ns.name))
+	}
+	s := ns.vmd.servers[sIdx]
+	link := c.links[s.idx]
+	link.toServer.SendMessage(RequestBytes, func() {
+		respond := func() {
+			s.pagesServed++
+			link.fromServer.SendMessage(PageMsgBytes, func() {
+				c.pagesRead++
+				if fn != nil {
+					fn()
+				}
+			})
+		}
+		if ns.onDisk.Test(mem.PageID(off)) {
+			// Spilled page: the server reads its local disk first.
+			s.diskServes++
+			s.disk.Read(mem.PageSize, respond)
+			return
+		}
+		respond()
+	})
+}
+
+// Free releases the single slot at the given offset, returning its memory
+// to the owning server. The hypervisor frees a slot when the page is
+// faulted back in (mirroring Linux freeing the swap entry), so a page that
+// churns between RAM and swap does not leak server memory.
+func (ns *Namespace) Free(off uint32) {
+	if int(off) >= len(ns.placement) {
+		panic("vmd: free past end of namespace")
+	}
+	sIdx := ns.placement[off]
+	if sIdx == noServer {
+		panic(fmt.Sprintf("vmd: free of unwritten offset %d in %s", off, ns.name))
+	}
+	ns.releaseSlot(off, ns.vmd.servers[sIdx])
+	ns.placement[off] = noServer
+	ns.stored--
+}
+
+// HasPage reports whether the offset holds a stored page.
+func (ns *Namespace) HasPage(off uint32) bool {
+	return int(off) < len(ns.placement) && ns.placement[off] != noServer
+}
+
+// releaseSlot returns one offset's storage to the owning server's correct
+// tier.
+func (ns *Namespace) releaseSlot(off uint32, s *Server) {
+	if ns.onDisk.Test(mem.PageID(off)) {
+		ns.onDisk.Clear(mem.PageID(off))
+		s.diskUsed--
+		return
+	}
+	s.used--
+}

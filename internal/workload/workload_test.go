@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"testing"
+
+	"agilemig/internal/blockdev"
+	"agilemig/internal/dist"
+	"agilemig/internal/guest"
+	"agilemig/internal/host"
+	"agilemig/internal/mem"
+	"agilemig/internal/sim"
+	"agilemig/internal/simnet"
+)
+
+const (
+	gib  = int64(1) << 30
+	mib  = int64(1) << 20
+	gbps = int64(125_000_000)
+)
+
+type rig struct {
+	eng    *sim.Engine
+	net    *simnet.Network
+	h      *host.Host
+	vm     *guest.VM
+	store  *KVStore
+	client *Client
+}
+
+// newRig builds: VM with datasetBytes of KV data, reservation resBytes,
+// fast-ish SSD swap, and a YCSB-shaped client with the given config.
+func newRig(t *testing.T, cfg ClientConfig, vmBytes, datasetBytes, resBytes int64) *rig {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	net := simnet.New(eng)
+	h := host.New(eng, net, host.Config{Name: "src", RAMBytes: 32 * gib, OSOverheadBytes: 200 * mib, NetBytesPerSec: gbps})
+	h.ConfigureSharedSwap(blockdev.Config{Name: "ssd", BytesPerSecond: 80 * mib, IOPS: 12_000}, 30*gib)
+	clientNIC := net.NewNIC("extclient", gbps)
+	vm := guest.New(eng, "vm1", vmBytes)
+	h.AddVM(vm, resBytes, h.SharedSwapBackend())
+	vm.Resume()
+	store := NewKVStore(vm, 256*mib, datasetBytes, 1024)
+	store.Load()
+	req := net.NewFlow("req", clientNIC, h.NIC(), 0)
+	resp := net.NewFlow("resp", h.NIC(), clientNIC, 0)
+	c := NewClient(eng, cfg, store, dist.NewUniform(store.Records()), req, resp, eng.RNG().Split())
+	return &rig{eng: eng, net: net, h: h, vm: vm, store: store, client: c}
+}
+
+func TestKVStorePageMapping(t *testing.T) {
+	eng := sim.NewEngine(1)
+	vm := guest.New(eng, "vm", gib)
+	s := NewKVStore(vm, 0, 100*mib, 1024)
+	if s.Records() != 100*mib/1024 {
+		t.Fatalf("records = %d", s.Records())
+	}
+	if s.PageOfRecord(0) != 0 {
+		t.Fatal("record 0 not on page 0")
+	}
+	// 4 records per page at 1 KiB.
+	if s.PageOfRecord(4) != 1 || s.PageOfRecord(3) != 0 {
+		t.Fatal("records-per-page mapping wrong")
+	}
+}
+
+func TestKVStoreRejectsOversizedDataset(t *testing.T) {
+	eng := sim.NewEngine(1)
+	vm := guest.New(eng, "vm", gib)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized dataset did not panic")
+		}
+	}()
+	NewKVStore(vm, 512*mib, gib, 1024)
+}
+
+func TestThroughputAtCapacityWhenResident(t *testing.T) {
+	cfg := YCSB()
+	cfg.MaxOpsPerSecond = 5000
+	// Dataset fits entirely in the reservation: no faults, full speed.
+	r := newRig(t, cfg, 2*gib, 200*mib, gib)
+	r.eng.RunSeconds(12)
+	ops := r.client.OpsCompleted()
+	rate := float64(ops) / 12
+	if rate < 4500 || rate > 5100 {
+		t.Fatalf("resident throughput %.0f ops/s, want ~5000", rate)
+	}
+	_, _, stalled := r.client.Stats()
+	if float64(stalled) > 0.01*float64(ops) {
+		t.Fatalf("%d stalled ops with a fully resident dataset", stalled)
+	}
+}
+
+func TestThroughputCollapsesUnderPressure(t *testing.T) {
+	cfg := YCSB()
+	cfg.MaxOpsPerSecond = 20_000
+	// 2 GiB dataset, 512 MiB reservation: ~3/4 of touched pages fault, and
+	// the fault+writeback demand far exceeds the device's IOPS, so the
+	// closed loop collapses to device speed.
+	r := newRig(t, cfg, 4*gib, 2*gib, 512*mib)
+	r.eng.RunSeconds(60) // let load-time reclaim settle
+	before := r.client.OpsCompleted()
+	r.eng.RunSeconds(20)
+	rate := float64(r.client.OpsCompleted()-before) / 20
+	if rate > 8000 {
+		t.Fatalf("throughput %.0f ops/s under 4:1 overcommit, expected collapse below 8000", rate)
+	}
+	if rate < 10 {
+		t.Fatalf("throughput %.0f ops/s — workload wedged rather than degraded", rate)
+	}
+	if r.h.Group("vm1").Stats().SwapInPages == 0 {
+		t.Fatal("no demand swap-ins under pressure")
+	}
+}
+
+func TestWriteFractionDirtiesPages(t *testing.T) {
+	cfg := YCSB()
+	cfg.WriteFraction = 1.0
+	cfg.MaxOpsPerSecond = 2000
+	r := newRig(t, cfg, 2*gib, 200*mib, gib)
+	// Load marks everything dirty; clear to observe workload dirtying.
+	tb := r.vm.Table()
+	tb.ForEach(func(p mem.PageID, _ mem.PageState) { tb.ClearDirty(p) })
+	r.eng.RunSeconds(5)
+	if tb.DirtyCount() == 0 {
+		t.Fatal("write workload dirtied nothing")
+	}
+	_, writes, _ := r.client.Stats()
+	if writes == 0 {
+		t.Fatal("no writes recorded")
+	}
+}
+
+func TestReadOnlyWorkloadDirtiesNothing(t *testing.T) {
+	cfg := YCSB()
+	cfg.WriteFraction = 0 // a server without read-side dirtying
+	cfg.MaxOpsPerSecond = 2000
+	r := newRig(t, cfg, 2*gib, 200*mib, gib)
+	tb := r.vm.Table()
+	tb.ForEach(func(p mem.PageID, _ mem.PageState) { tb.ClearDirty(p) })
+	r.eng.RunSeconds(5)
+	if tb.DirtyCount() != 0 {
+		t.Fatalf("read-only workload dirtied %d pages", tb.DirtyCount())
+	}
+}
+
+func TestPauseStopsNewOps(t *testing.T) {
+	cfg := YCSB()
+	cfg.MaxOpsPerSecond = 5000
+	r := newRig(t, cfg, 2*gib, 200*mib, gib)
+	r.eng.RunSeconds(5)
+	r.client.Pause()
+	r.eng.RunSeconds(1) // drain in-flight
+	before := r.client.OpsCompleted()
+	r.eng.RunSeconds(5)
+	if got := r.client.OpsCompleted(); got != before {
+		t.Fatalf("%d ops completed while paused", got-before)
+	}
+	r.client.Unpause()
+	r.eng.RunSeconds(2)
+	if r.client.OpsCompleted() == before {
+		t.Fatal("no ops after unpause")
+	}
+}
+
+func TestSuspendedVMStopsThroughput(t *testing.T) {
+	cfg := YCSB()
+	cfg.MaxOpsPerSecond = 5000
+	r := newRig(t, cfg, 2*gib, 200*mib, gib)
+	r.eng.RunSeconds(5)
+	r.vm.Suspend()
+	r.eng.RunSeconds(1)
+	before := r.client.OpsCompleted()
+	r.eng.RunSeconds(5)
+	if got := r.client.OpsCompleted(); got != before {
+		t.Fatalf("%d ops completed while VM suspended", got-before)
+	}
+	r.vm.Resume()
+	r.eng.RunSeconds(2)
+	if r.client.OpsCompleted() == before {
+		t.Fatal("no recovery after resume")
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	cfg := YCSB()
+	cfg.MaxOpsPerSecond = 100_000
+	cfg.Concurrency = 8
+	r := newRig(t, cfg, 4*gib, 2*gib, 256*mib) // heavy faulting
+	for i := 0; i < 2000; i++ {
+		r.eng.Step()
+		if r.client.InFlight() > 8 {
+			t.Fatalf("inflight %d exceeds concurrency 8", r.client.InFlight())
+		}
+	}
+}
+
+func TestNetworkTrafficGenerated(t *testing.T) {
+	cfg := YCSB()
+	cfg.MaxOpsPerSecond = 1000
+	r := newRig(t, cfg, 2*gib, 200*mib, gib)
+	r.eng.RunSeconds(5)
+	ops := r.client.OpsCompleted()
+	wantResp := ops * cfg.ResponseBytes
+	if got := r.h.NIC().BytesSent(); got < wantResp {
+		t.Fatalf("VM host sent %d bytes, want >= %d (responses)", got, wantResp)
+	}
+}
+
+func TestSetDistWiderThanDatasetPanics(t *testing.T) {
+	cfg := YCSB()
+	r := newRig(t, cfg, 2*gib, 200*mib, gib)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized dist did not panic")
+		}
+	}()
+	r.client.SetDist(dist.NewUniform(r.store.Records() * 2))
+}
+
+func TestSetDistNarrowsAccess(t *testing.T) {
+	cfg := YCSB()
+	cfg.MaxOpsPerSecond = 3000
+	// Dataset larger than reservation, but the queried fraction fits: after
+	// a warmup, throughput should approach capacity because the hot subset
+	// becomes resident.
+	r := newRig(t, cfg, 4*gib, 2*gib, 1*gib)
+	r.client.SetDist(dist.NewUniform(200 * mib / 1024)) // 200 MB fraction
+	r.eng.RunSeconds(60)
+	before := r.client.OpsCompleted()
+	r.eng.RunSeconds(10)
+	rate := float64(r.client.OpsCompleted()-before) / 10
+	if rate < 2500 {
+		t.Fatalf("hot-subset throughput %.0f ops/s, want near 3000", rate)
+	}
+}
+
+func TestSysbenchPresetTouchesManyPages(t *testing.T) {
+	cfg := Sysbench()
+	cfg.MaxOpsPerSecond = 100
+	r := newRig(t, cfg, 2*gib, 200*mib, gib)
+	r.eng.RunSeconds(10)
+	ops := r.client.OpsCompleted()
+	if ops == 0 {
+		t.Fatal("no transactions completed")
+	}
+	// Every transaction writes, so pages must be dirty even after reclaim.
+	if r.vm.Table().DirtyCount() == 0 {
+		t.Fatal("OLTP transactions dirtied nothing")
+	}
+}

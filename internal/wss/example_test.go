@@ -1,0 +1,22 @@
+package wss_test
+
+import (
+	"fmt"
+
+	"agilemig/internal/wss"
+)
+
+// The watermark trigger picks the fewest VMs whose departure relieves the
+// pressure (§III-B): the largest working sets go first.
+func ExampleSelectVMsToMigrate() {
+	estimates := map[string]int64{
+		"web":   6 << 30, // 6 GiB
+		"db":    5 << 30,
+		"cache": 5 << 30,
+		"batch": 6 << 30,
+	}
+	// Aggregate 22 GiB; bring it below 17 GiB.
+	picked := wss.SelectVMsToMigrate(estimates, 17<<30)
+	fmt.Println(picked)
+	// Output: [batch]
+}
