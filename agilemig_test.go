@@ -55,9 +55,6 @@ func TestFacadeHelpers(t *testing.T) {
 // TestTechniqueComparison runs all three techniques through the facade on
 // the same scenario and checks the paper's headline orderings end to end.
 func TestTechniqueComparison(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-minute scenario")
-	}
 	results := map[Technique]*MigrationResult{}
 	for _, tech := range []Technique{PreCopy, PostCopy, Agile} {
 		cfg := DefaultTestbedConfig()

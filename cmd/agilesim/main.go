@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	agilesim [-scale f] [-seed n] [-csv file] <experiment>
+//	agilesim [-scale f] [-seed n] [-csv file] [-parallel n]
+//	         [-cpuprofile file] [-memprofile file] <experiment>
 //
 // Experiments:
 //
@@ -29,6 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 
 	"agilemig/internal/cluster"
 	"agilemig/internal/core"
@@ -44,8 +48,11 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "size/time scale factor (1.0 = paper scale)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csvPath := flag.String("csv", "", "also write timeline series as CSV to this file")
+	parallel := flag.Int("parallel", 0, "experiment-point workers (0 = all cores, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-cpuprofile file] [-memprofile file] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation demo report all\n")
 	}
 	flag.Parse()
@@ -55,6 +62,41 @@ func main() {
 	}
 	id := flag.Arg(0)
 	out := os.Stdout
+
+	// A batch simulator with a small live set and a high allocation rate:
+	// let the heap grow further between collections unless the user tuned
+	// GC themselves.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(800)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agilesim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "agilesim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agilesim:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var csvOut *os.File
 	if *csvPath != "" {
@@ -83,11 +125,12 @@ func main() {
 		cfg := experiments.DefaultSizeSweepConfig()
 		cfg.Scale = *scale
 		cfg.Seed = *seed
+		cfg.Parallelism = *parallel
 		rows := experiments.RunSizeSweep(cfg)
 		experiments.PrintSizeSweep(out, rows)
 	}
 	runTables := func() {
-		results := experiments.RunAppPerfTables(*scale, *seed)
+		results := experiments.RunAppPerfTables(*scale, *seed, *parallel)
 		experiments.PrintAppPerfTables(out, results)
 	}
 	runWSS := func() {
@@ -104,11 +147,11 @@ func main() {
 	}
 	runAblation := func() {
 		push := experiments.RunAblationActivePush(*scale, *seed)
-		remote := experiments.RunAblationRemoteSwap(*scale, *seed)
-		placement := experiments.RunAblationPlacement(*seed)
-		watermark := experiments.RunAblationWatermark(*seed)
+		remote := experiments.RunAblationRemoteSwap(*scale, *seed, *parallel)
+		placement := experiments.RunAblationPlacement(*seed, *parallel)
+		watermark := experiments.RunAblationWatermark(*seed, *parallel)
 		experiments.PrintAblations(out, push, remote, placement, watermark)
-		experiments.PrintAutoConverge(out, experiments.RunAblationAutoConverge(*scale, *seed))
+		experiments.PrintAutoConverge(out, experiments.RunAblationAutoConverge(*scale, *seed, *parallel))
 		experiments.PrintScatterEviction(out, experiments.RunScatterEviction(*scale, *seed))
 	}
 
@@ -160,12 +203,23 @@ func main() {
 	case "demo", "trace":
 		runDemo()
 	case "report":
-		report.Generate(out, report.Options{Scale: *scale, Seed: *seed,
+		report.Generate(out, report.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel,
 			Pressure: true, Sweep: true, Tables: true, WSS: true, Ablation: true})
 	case "all":
-		runFig(core.PreCopy)
-		runFig(core.PostCopy)
-		runFig(core.Agile)
+		// The three pressure timelines are independent scenarios: run them
+		// through the fan-out harness, then print in figure order.
+		cfg := experiments.DefaultPressureConfig(core.PreCopy)
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		for _, r := range experiments.RunPressureTechniques(cfg,
+			[]core.Technique{core.PreCopy, core.PostCopy, core.Agile}, *parallel) {
+			r.Print(out)
+			if csvOut != nil {
+				if err := r.WriteCSV(csvOut); err != nil {
+					fmt.Fprintln(os.Stderr, "agilesim: csv:", err)
+				}
+			}
+		}
 		runSweep()
 		runTables()
 		runWSS()

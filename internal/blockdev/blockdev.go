@@ -24,6 +24,28 @@ type request struct {
 	fn        func()
 }
 
+// reqQueue is a FIFO of requests popped from the head in O(1); the dead
+// prefix is compacted away once it outweighs the live tail, so a busy
+// stream's queue never degrades into an O(n²) shift-per-pop.
+type reqQueue struct {
+	q    []request
+	head int
+}
+
+func (q *reqQueue) len() int        { return len(q.q) - q.head }
+func (q *reqQueue) front() *request { return &q.q[q.head] }
+func (q *reqQueue) push(r request)  { q.q = append(q.q, r) }
+func (q *reqQueue) pop() {
+	q.q[q.head] = request{} // release fn for GC
+	q.head++
+	if q.head == len(q.q) {
+		q.q, q.head = q.q[:0], 0
+	} else if q.head >= len(q.q)-q.head {
+		q.q = q.q[:copy(q.q, q.q[q.head:])]
+		q.head = 0
+	}
+}
+
 // Stream is one requester's queue pair on a device. Reads and writes
 // queue separately: synchronous reads (page faults) are served before
 // asynchronous write-back, the way deadline-style I/O schedulers
@@ -32,8 +54,8 @@ type request struct {
 type Stream struct {
 	dev  *Device
 	name string
-	rq   []request // reads
-	wq   []request // writes
+	rq   reqQueue // reads
+	wq   reqQueue // writes
 }
 
 // Device is a bandwidth- and IOPS-limited block device with round-robin
@@ -132,14 +154,14 @@ func (s *Stream) submit(write bool, bytes int64, fn func()) {
 	}
 	r := request{write: write, remaining: bytes, fn: fn}
 	if write {
-		s.wq = append(s.wq, r)
+		s.wq.push(r)
 	} else {
-		s.rq = append(s.rq, r)
+		s.rq.push(r)
 	}
 }
 
 // QueueLen returns the stream's waiting/in-service request count.
-func (s *Stream) QueueLen() int { return len(s.rq) + len(s.wq) }
+func (s *Stream) QueueLen() int { return s.rq.len() + s.wq.len() }
 
 // QueueLen returns the number of requests waiting or in service across all
 // streams.
@@ -173,7 +195,7 @@ func (d *Device) Tick(_ sim.Time) {
 	}
 	writesWaiting := false
 	for _, s := range d.streams {
-		if len(s.wq) > 0 {
+		if s.wq.len() > 0 {
 			writesWaiting = true
 			break
 		}
@@ -184,7 +206,7 @@ func (d *Device) Tick(_ sim.Time) {
 	if writesWaiting {
 		spentW = d.serve(budget/4, true)
 	}
-	spentR := d.serve(budget-budget/4, false)
+	spentR := d.serve(budget-spentW, false)
 	d.serve(budget-spentW-spentR, true)
 	// Cap accumulated IOPS credit so an idle period doesn't bank an
 	// unbounded burst.
@@ -193,12 +215,41 @@ func (d *Device) Tick(_ sim.Time) {
 	}
 }
 
+// NextWake reports when the device next has work: immediately while any
+// request is queued, or while IOPS credit is still accruing toward its cap
+// (an idle tick changes the credit until then). Once the credit is pinned
+// at the cap and the queues are empty, a device tick is an exact state
+// no-op — empty service passes rewind the rotation cursor — so the engine
+// may skip ahead. In-flight completion callbacks ride the engine's event
+// queue and need no wake here.
+func (d *Device) NextWake(now sim.Time) (sim.Time, bool) {
+	if d.QueueLen() > 0 {
+		return now + 1, true
+	}
+	if d.iopsCred < 4*d.iopsPerTick+4 {
+		return now + 1, true
+	}
+	return sim.Never, true
+}
+
 // serve drains one request class (reads or writes) under DRR and returns
-// the bytes consumed.
+// the bytes consumed. A pass that changes nothing (every queue of the class
+// empty, or no IOPS credit to start the head request) rewinds the rotation
+// cursor, so an idle pass leaves the device byte-identical and the service
+// order does not depend on how long the device sat idle.
 func (d *Device) serve(budget int64, writes bool) int64 {
 	if budget <= 0 {
 		return 0
 	}
+	rr0, cred0 := d.rr, d.iopsCred
+	served := d.servePass(budget, writes)
+	if served == 0 && d.iopsCred == cred0 {
+		d.rr = rr0
+	}
+	return served
+}
+
+func (d *Device) servePass(budget int64, writes bool) int64 {
 	n := len(d.rotation)
 	remaining := budget
 	emptyRun := 0
@@ -209,14 +260,14 @@ func (d *Device) serve(budget int64, writes bool) int64 {
 		if writes {
 			q = &s.wq
 		}
-		if len(*q) == 0 {
+		if q.len() == 0 {
 			emptyRun++
 			continue
 		}
 		emptyRun = 0
 		slot := drrQuantum
-		for slot > 0 && remaining > 0 && len(*q) > 0 {
-			r := &(*q)[0]
+		for slot > 0 && remaining > 0 && q.len() > 0 {
+			r := q.front()
 			if !r.started {
 				if d.iopsCred < 1 {
 					return budget - remaining
@@ -257,7 +308,7 @@ func (d *Device) serve(budget int64, writes bool) int64 {
 					d.eng.After(1, fn)
 				}
 			}
-			*q = (*q)[:copy(*q, (*q)[1:])]
+			q.pop()
 		}
 	}
 	return budget - remaining

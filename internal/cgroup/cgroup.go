@@ -74,10 +74,50 @@ type Group struct {
 	// (the kernel makes allocating tasks do direct reclaim). This is the
 	// back-pressure that turns overcommit into throughput collapse instead
 	// of an unbounded resident set.
-	throttled       []func()
+	// throttled is drained from thrHead instead of re-slicing on every pop,
+	// so a deep backlog (tens of thousands of entries under full thrash)
+	// drains in O(n) instead of O(n²). Entries are small values, not heap
+	// objects: under sustained thrash the backlog legitimately holds many
+	// entries per page (every repeated touch of a swapped page defers one
+	// admission, and each must consume its own drain slot), so a per-entry
+	// allocation would cost gigabytes over a long run.
+	throttled       []throttledEntry
+	thrHead         int
 	evictSinceAdmit int
 
 	stats Stats
+
+	// Freelists and scratch for the hot reclaim/fault paths: eviction and
+	// fault completions are pooled records with callbacks bound once, so
+	// steady-state thrash allocates nothing per page moved.
+	victimScratch []mem.PageID
+	evictFree     []*evictRec
+	faultFree     []*faultRec
+}
+
+// evictRec carries one in-flight eviction across its write-back completion.
+type evictRec struct {
+	g     *Group
+	p     mem.PageID
+	slot  uint32
+	doneF func()
+}
+
+// faultRec carries one fault across its swap-read completion.
+type faultRec struct {
+	g     *Group
+	p     mem.PageID
+	slot  uint32
+	readF func()
+}
+
+// throttledEntry is one deferred fault admission: either a page fault
+// (faultInNow(p, done) when drained) or a raw deferred closure (run, used
+// by clustered fault admission).
+type throttledEntry struct {
+	p    mem.PageID
+	done func()
+	run  func()
 }
 
 // DefaultEvictBatch is the default cap on in-flight evictions.
@@ -167,22 +207,57 @@ func (g *Group) Tick(_ sim.Time) {
 			need = room
 		}
 		if need > 0 {
-			victims := g.clock.FindVictims(need, nil)
-			for _, p := range victims {
+			g.victimScratch = g.clock.FindVictims(need, g.victimScratch[:0])
+			for _, p := range g.victimScratch {
 				g.startEviction(p)
 			}
 		}
 	}
 	if g.ExcessPages() <= g.maxEvictInFlight || g.evictInFlight == 0 {
-		g.drainThrottled(len(g.throttled))
+		g.drainThrottled(g.ThrottledFaults())
 	}
 }
 
+// NextWake reports when reclaim next has work: immediately while the group
+// is over its reservation with room to start evictions (the clock scan
+// advances state even when it comes up empty-handed), or while throttled
+// fault admissions are drainable. Otherwise a reclaim tick is an exact
+// no-op; eviction and fault completions arrive via the engine's event
+// queue, so the engine may skip ahead.
+func (g *Group) NextWake(now sim.Time) (sim.Time, bool) {
+	if g.disabled {
+		return sim.Never, true
+	}
+	if g.ExcessPages()-g.evictInFlight > 0 && g.evictInFlight < g.maxEvictInFlight {
+		return now + 1, true
+	}
+	if g.ThrottledFaults() > 0 && (g.ExcessPages() <= g.maxEvictInFlight || g.evictInFlight == 0) {
+		return now + 1, true
+	}
+	return sim.Never, true
+}
+
 func (g *Group) drainThrottled(n int) {
-	for i := 0; i < n && len(g.throttled) > 0; i++ {
-		run := g.throttled[0]
-		g.throttled = g.throttled[:copy(g.throttled, g.throttled[1:])]
-		run()
+	for i := 0; i < n && g.thrHead < len(g.throttled); i++ {
+		e := g.throttled[g.thrHead]
+		g.throttled[g.thrHead] = throttledEntry{}
+		g.thrHead++
+		if g.thrHead == len(g.throttled) {
+			g.throttled = g.throttled[:0]
+			g.thrHead = 0
+		}
+		if e.run != nil {
+			e.run()
+		} else {
+			g.faultInNow(e.p, e.done)
+		}
+	}
+	// Compact once the dead prefix outweighs the live tail, so a queue with
+	// a persistent backlog (admissions arriving as fast as they drain) stays
+	// bounded instead of growing its backing array forever.
+	if g.thrHead > 0 && g.thrHead >= len(g.throttled)-g.thrHead {
+		g.throttled = g.throttled[:copy(g.throttled, g.throttled[g.thrHead:])]
+		g.thrHead = 0
 	}
 }
 
@@ -193,12 +268,12 @@ func (g *Group) admit(run func()) {
 		run()
 		return
 	}
-	g.throttled = append(g.throttled, run)
+	g.throttled = append(g.throttled, throttledEntry{run: run})
 }
 
 // ThrottledFaults returns how many fault admissions are currently waiting
 // on reclaim progress.
-func (g *Group) ThrottledFaults() int { return len(g.throttled) }
+func (g *Group) ThrottledFaults() int { return len(g.throttled) - g.thrHead }
 
 func (g *Group) startEviction(p mem.PageID) {
 	slot, ok := g.backend.SlotFor(p)
@@ -209,39 +284,55 @@ func (g *Group) startEviction(p mem.PageID) {
 	g.table.SetState(p, mem.StateEvicting)
 	g.table.SetSwapOffset(p, slot)
 	g.evictInFlight++
-	g.backend.WritePage(slot, func() {
-		g.evictInFlight--
-		if g.disabled {
-			return
-		}
-		// Direct-reclaim pacing: while the group is far over its
-		// reservation, two evictions must complete per admitted fault so
-		// reclaim gains net ground (direct reclaim frees a cluster of
-		// pages per allocation stall); near the reservation the exchange
-		// is one-for-one.
-		if g.ExcessPages() > 4*g.maxEvictInFlight {
-			g.evictSinceAdmit++
-			if g.evictSinceAdmit >= 2 {
-				g.evictSinceAdmit = 0
-				g.drainThrottled(1)
-			}
-		} else {
+	var e *evictRec
+	if n := len(g.evictFree); n > 0 {
+		e = g.evictFree[n-1]
+		g.evictFree[n-1] = nil
+		g.evictFree = g.evictFree[:n-1]
+	} else {
+		e = &evictRec{g: g}
+		e.doneF = e.done
+	}
+	e.p, e.slot = p, slot
+	g.backend.WritePage(slot, e.doneF)
+}
+
+// done runs when the eviction's write-back completes. The record recycles
+// immediately (the callback fires exactly once).
+func (e *evictRec) done() {
+	g, p, slot := e.g, e.p, e.slot
+	g.evictFree = append(g.evictFree, e)
+	g.evictInFlight--
+	if g.disabled {
+		return
+	}
+	// Direct-reclaim pacing: while the group is far over its
+	// reservation, two evictions must complete per admitted fault so
+	// reclaim gains net ground (direct reclaim frees a cluster of
+	// pages per allocation stall); near the reservation the exchange
+	// is one-for-one.
+	if g.ExcessPages() > 4*g.maxEvictInFlight {
+		g.evictSinceAdmit++
+		if g.evictSinceAdmit >= 2 {
+			g.evictSinceAdmit = 0
 			g.drainThrottled(1)
 		}
-		switch g.table.State(p) {
-		case mem.StateEvicting:
-			// Note: the table's dirty bit is the migration dirty log
-			// ("modified since last sent to the destination"), not a
-			// device write-back bit, so eviction leaves it untouched.
-			g.table.SetState(p, mem.StateSwapped)
-			g.stats.SwapOutPages++
-		default:
-			// The guest touched the page while the write was in flight;
-			// the eviction was cancelled and the slot is stale.
-			g.backend.Release(slot)
-			g.stats.CancelledEvict++
-		}
-	})
+	} else {
+		g.drainThrottled(1)
+	}
+	switch g.table.State(p) {
+	case mem.StateEvicting:
+		// Note: the table's dirty bit is the migration dirty log
+		// ("modified since last sent to the destination"), not a
+		// device write-back bit, so eviction leaves it untouched.
+		g.table.SetState(p, mem.StateSwapped)
+		g.stats.SwapOutPages++
+	default:
+		// The guest touched the page while the write was in flight;
+		// the eviction was cancelled and the slot is stale.
+		g.backend.Release(slot)
+		g.stats.CancelledEvict++
+	}
 }
 
 // CancelEviction returns an Evicting page to Resident (the guest wrote to
@@ -266,7 +357,24 @@ func (g *Group) FaultIn(p mem.PageID, done func()) {
 		}
 		return
 	}
-	g.admit(func() { g.faultInNow(p, done) })
+	if g.disabled || g.ExcessPages() <= g.maxEvictInFlight {
+		// Admitted immediately: no deferral record needed.
+		g.faultInNow(p, done)
+		return
+	}
+	g.throttled = append(g.throttled, throttledEntry{p: p, done: done})
+}
+
+func (g *Group) newFaultRec() *faultRec {
+	if n := len(g.faultFree); n > 0 {
+		r := g.faultFree[n-1]
+		g.faultFree[n-1] = nil
+		g.faultFree = g.faultFree[:n-1]
+		return r
+	}
+	r := &faultRec{g: g}
+	r.readF = r.readDone
+	return r
 }
 
 func (g *Group) faultInNow(p mem.PageID, done func()) {
@@ -293,24 +401,32 @@ func (g *Group) faultInNow(p mem.PageID, done func()) {
 		g.waiters[p] = append(g.waiters[p], done)
 	}
 	slot := g.table.SwapOffset(p)
-	g.backend.ReadPage(slot, func() {
-		if g.disabled {
-			return
-		}
-		if g.table.State(p) != mem.StateFaulting {
-			// The table was replaced or the page force-resolved during
-			// migration switchover; drop the stale completion.
-			return
-		}
-		g.table.SetState(p, mem.StateResident)
-		g.backend.Release(slot)
-		g.stats.SwapInPages++
-		ws := g.waiters[p]
-		delete(g.waiters, p)
-		for _, w := range ws {
-			w()
-		}
-	})
+	r := g.newFaultRec()
+	r.p, r.slot = p, slot
+	g.backend.ReadPage(slot, r.readF)
+}
+
+// readDone runs when the fault's swap read completes. The record recycles
+// immediately (the callback fires exactly once).
+func (r *faultRec) readDone() {
+	g, p, slot := r.g, r.p, r.slot
+	g.faultFree = append(g.faultFree, r)
+	if g.disabled {
+		return
+	}
+	if g.table.State(p) != mem.StateFaulting {
+		// The table was replaced or the page force-resolved during
+		// migration switchover; drop the stale completion.
+		return
+	}
+	g.table.SetState(p, mem.StateResident)
+	g.backend.Release(slot)
+	g.stats.SwapInPages++
+	ws := g.waiters[p]
+	delete(g.waiters, p)
+	for _, w := range ws {
+		w()
+	}
 }
 
 // FaultInCluster swaps in a batch of pages with a single clustered device

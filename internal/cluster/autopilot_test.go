@@ -56,9 +56,6 @@ func TestAutopilotQuiescentWhenUnderWatermark(t *testing.T) {
 }
 
 func TestAutopilotMigratesUnderPressure(t *testing.T) {
-	if testing.Short() {
-		t.Skip("long scenario")
-	}
 	tb, hs := autopilotRig(t, 2)
 	ap := tb.StartAutopilot(autopilotConfig())
 	// Converge to small working sets first.

@@ -46,6 +46,10 @@ type Config struct {
 	SwapPartitionBytes   int64
 	Intermediates        int
 	IntermediateRAMBytes int64
+	// DisableFastForward forces the engine to step tick by tick instead of
+	// skipping idle spans. Results are identical either way; the knob exists
+	// for the fast-forward equivalence tests and timing comparisons.
+	DisableFastForward bool
 }
 
 // DefaultConfig returns the §V testbed: 23 GB hosts (boot-limited), 200 MB
@@ -87,6 +91,9 @@ type Testbed struct {
 // New builds a testbed.
 func New(cfg Config) *Testbed {
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.DisableFastForward {
+		eng.SetFastForward(false)
+	}
 	net := simnet.New(eng)
 	tb := &Testbed{
 		Cfg: cfg,
@@ -245,7 +252,7 @@ func (tb *Testbed) RunUntilMigrated(h *VMHandle, timeoutSeconds float64) bool {
 	}
 	deadline := tb.Eng.Now() + sim.Time(tb.Eng.SecondsToTicks(timeoutSeconds))
 	for tb.Eng.Now() < deadline && !h.Migration.Done() {
-		tb.Eng.Step()
+		tb.Eng.Advance(deadline)
 	}
 	return h.Migration.Done()
 }

@@ -46,7 +46,8 @@ func TestTuningOverridesPreserved(t *testing.T) {
 		PageHeaderBytes: 4, RecordBytes: 5, CPUStateBytes: 6,
 		PreCopyMaxRounds: 7, PreCopyStopPages: 8, DemandRequestBytes: 9,
 		SwapInCluster: 10, AutoConverge: true, AutoConvergeStep: 0.5,
-		AutoConvergeFloor: 0.1, DisableActivePush: true, NoRemoteSwap: true}
+		AutoConvergeFloor: 0.1, DisableActivePush: true, NoRemoteSwap: true,
+		MaxScatterInFlight: 11, GatherPrefetch: true}
 	if out := in.withDefaults(); out != in {
 		t.Fatalf("withDefaults clobbered overrides: %+v", out)
 	}

@@ -181,6 +181,36 @@ func (m *Migration) Tick(_ sim.Time) {
 	}
 }
 
+// NextWake reports when the migration pump next has work. While a pump is
+// active the manager runs every tick; in the states where Tick is an exact
+// no-op — done, waiting for the CPU state to land, demand-only ablation, or
+// source drained — progress is driven entirely by flow-delivery and device
+// events, so the engine may skip ahead.
+func (m *Migration) NextWake(now sim.Time) (sim.Time, bool) {
+	switch m.state {
+	case phaseDone:
+		return sim.Never, true
+	case phaseLive, phaseSuspend:
+		if m.roundBM == nil {
+			// Stop-and-copy finished; the CPU state is on the wire and
+			// switchover fires as a message callback.
+			return sim.Never, true
+		}
+		return now + 1, true
+	default: // phasePush
+		if m.tech == Agile && !m.switched {
+			return sim.Never, true
+		}
+		if m.tun.DisableActivePush && m.tech != ScatterGather {
+			return sim.Never, true
+		}
+		if m.srcDrained {
+			return sim.Never, true
+		}
+		return now + 1, true
+	}
+}
+
 // pumpRound walks the current round's bitmap, respecting the send window
 // and the swap-in concurrency bound.
 func (m *Migration) pumpRound() {

@@ -140,7 +140,19 @@ func (m *Migration) startGatherPrefetch() {
 	var cursor mem.PageID
 	inFlight := 0
 	done := false
-	m.eng.AddTickerFunc(sim.PhaseControl, func(sim.Time) {
+	// The hint mirrors the tick body's guards exactly: whenever the body
+	// would fall through without touching cursor/inFlight (finished, fetch
+	// window full, or no reservation headroom), the tick is a no-op and the
+	// engine may skip; fault completions and reclaim run off their own
+	// wakes.
+	hint := func(now sim.Time) (sim.Time, bool) {
+		if done || inFlight >= m.tun.MaxSwapInFlight ||
+			int(m.destGroup.ReservationBytes()/mem.PageSize) <= m.destTable.InRAM() {
+			return sim.Never, true
+		}
+		return now + 1, true
+	}
+	m.eng.AddTickerFuncHinted(sim.PhaseControl, func(sim.Time) {
 		if done {
 			return
 		}
@@ -164,5 +176,5 @@ func (m *Migration) startGatherPrefetch() {
 			headroom -= len(batch)
 			m.destGroup.FaultInCluster(batch, func() { inFlight-- })
 		}
-	})
+	}, hint)
 }

@@ -53,7 +53,8 @@ type AblationPushResult struct {
 
 // RunAblationActivePush measures why active push exists (§III: "transferring
 // all dirty pages from the source host would take an unbounded amount of
-// time").
+// time"). The two runs stay serial by design: the demand-only run's
+// observation window is sized from the with-push run's completion time.
 func RunAblationActivePush(scale float64, seed uint64) *AblationPushResult {
 	res := &AblationPushResult{}
 
@@ -97,26 +98,39 @@ type AblationRemoteSwapResult struct {
 }
 
 // RunAblationRemoteSwap quantifies the per-VM remote swap device's
-// contribution to Agile's speed.
-func RunAblationRemoteSwap(scale float64, seed uint64) *AblationRemoteSwapResult {
+// contribution to Agile's speed. The two configurations build independent
+// testbeds, so they fan out across workers (0 or omitted = all cores,
+// 1 = serial).
+func RunAblationRemoteSwap(scale float64, seed uint64, parallelism ...int) *AblationRemoteSwapResult {
 	res := &AblationRemoteSwapResult{}
-
-	tb, h := ablationScenario(scale, seed)
-	tb.Migrate(h, core.Agile, scaleBytes(4*cluster.GiB, scale))
-	if tb.RunUntilMigrated(h, scaleSeconds(4000, scale)) {
-		res.AgileSeconds = h.Result.TotalSeconds
-		res.AgileMB = float64(h.Result.BytesTransferred) / 1e6
-		res.AgileOffsetRec = h.Result.OffsetRecords
-	}
-
-	tb2, h2 := ablationScenario(scale, seed)
-	tb2.MigrateTuned(h2, core.Agile, scaleBytes(4*cluster.GiB, scale),
-		core.Tuning{NoRemoteSwap: true})
-	res.NoRemoteDone = tb2.RunUntilMigrated(h2, scaleSeconds(8000, scale))
-	if h2.Result != nil {
-		res.NoRemoteSecs = h2.Result.TotalSeconds
-		res.NoRemoteMB = float64(h2.Result.BytesTransferred) / 1e6
-	}
+	halves := runPoints(par(parallelism), 2, func(i int) *AblationRemoteSwapResult {
+		half := &AblationRemoteSwapResult{}
+		if i == 0 {
+			tb, h := ablationScenario(scale, seed)
+			tb.Migrate(h, core.Agile, scaleBytes(4*cluster.GiB, scale))
+			if tb.RunUntilMigrated(h, scaleSeconds(4000, scale)) {
+				half.AgileSeconds = h.Result.TotalSeconds
+				half.AgileMB = float64(h.Result.BytesTransferred) / 1e6
+				half.AgileOffsetRec = h.Result.OffsetRecords
+			}
+			return half
+		}
+		tb2, h2 := ablationScenario(scale, seed)
+		tb2.MigrateTuned(h2, core.Agile, scaleBytes(4*cluster.GiB, scale),
+			core.Tuning{NoRemoteSwap: true})
+		half.NoRemoteDone = tb2.RunUntilMigrated(h2, scaleSeconds(8000, scale))
+		if h2.Result != nil {
+			half.NoRemoteSecs = h2.Result.TotalSeconds
+			half.NoRemoteMB = float64(h2.Result.BytesTransferred) / 1e6
+		}
+		return half
+	})
+	res.AgileSeconds = halves[0].AgileSeconds
+	res.AgileMB = halves[0].AgileMB
+	res.AgileOffsetRec = halves[0].AgileOffsetRec
+	res.NoRemoteDone = halves[1].NoRemoteDone
+	res.NoRemoteSecs = halves[1].NoRemoteSecs
+	res.NoRemoteMB = halves[1].NoRemoteMB
 	return res
 }
 
@@ -133,8 +147,9 @@ type AblationAutoConvergeResult struct {
 	ThrottleEvents   int
 }
 
-// RunAblationAutoConverge runs a dirty-intensive pre-copy twice.
-func RunAblationAutoConverge(scale float64, seed uint64) *AblationAutoConvergeResult {
+// RunAblationAutoConverge runs a dirty-intensive pre-copy twice — the two
+// runs are independent scenarios and fan out across workers.
+func RunAblationAutoConverge(scale float64, seed uint64, parallelism ...int) *AblationAutoConvergeResult {
 	run := func(auto bool) (secs float64, rounds int, opsRate float64, throttles int) {
 		tcfg := cluster.DefaultConfig()
 		tcfg.Seed = seed
@@ -164,9 +179,21 @@ func RunAblationAutoConverge(scale float64, seed uint64) *AblationAutoConvergeRe
 		}
 		return h.Result.TotalSeconds, h.Result.Rounds, rate, h.Result.ThrottleEvents
 	}
+	type converge struct {
+		secs      float64
+		rounds    int
+		opsRate   float64
+		throttles int
+	}
+	runs := runPoints(par(parallelism), 2, func(i int) converge {
+		var c converge
+		c.secs, c.rounds, c.opsRate, c.throttles = run(i == 1)
+		return c
+	})
 	res := &AblationAutoConvergeResult{}
-	res.BaselineSeconds, res.BaselineRounds, res.BaselineOpsRate, _ = run(false)
-	res.ThrottledSeconds, res.ThrottledRounds, res.ThrottledOpsRate, res.ThrottleEvents = run(true)
+	res.BaselineSeconds, res.BaselineRounds, res.BaselineOpsRate = runs[0].secs, runs[0].rounds, runs[0].opsRate
+	res.ThrottledSeconds, res.ThrottledRounds, res.ThrottledOpsRate = runs[1].secs, runs[1].rounds, runs[1].opsRate
+	res.ThrottleEvents = runs[1].throttles
 	return res
 }
 
@@ -181,7 +208,8 @@ type AblationPlacementResult struct {
 
 // RunAblationPlacement writes a burst of pages into a pool with one
 // nearly-full server under both policies and counts wasted round trips.
-func RunAblationPlacement(seed uint64) *AblationPlacementResult {
+// The two policies run on independent engines and fan out across workers.
+func RunAblationPlacement(seed uint64, parallelism ...int) *AblationPlacementResult {
 	run := func(loadAware bool) (retries, rejects int64) {
 		eng := sim.NewEngine(seed)
 		net := simnet.New(eng)
@@ -212,9 +240,15 @@ func RunAblationPlacement(seed uint64) *AblationPlacementResult {
 		}
 		return retried, rejTotal
 	}
+	type policy struct{ retries, rejects int64 }
+	runs := runPoints(par(parallelism), 2, func(i int) policy {
+		var p policy
+		p.retries, p.rejects = run(i == 0)
+		return p
+	})
 	res := &AblationPlacementResult{}
-	res.LoadAwareRetries, res.LoadAwareRejects = run(true)
-	res.BlindRetries, res.BlindRejects = run(false)
+	res.LoadAwareRetries, res.LoadAwareRejects = runs[0].retries, runs[0].rejects
+	res.BlindRetries, res.BlindRejects = runs[1].retries, runs[1].rejects
 	return res
 }
 
@@ -228,11 +262,12 @@ type AblationWatermarkRow struct {
 // RunAblationWatermark replays the same rising-and-falling aggregate WSS
 // signal against triggers with different high/low gaps and counts how many
 // migration events each gap produces: a narrow gap migrates fewer VMs per
-// event but fires more often.
-func RunAblationWatermark(seed uint64) []AblationWatermarkRow {
+// event but fires more often. Each gap point runs on its own engine, so the
+// points fan out across workers.
+func RunAblationWatermark(seed uint64, parallelism ...int) []AblationWatermarkRow {
 	gaps := []int64{1 * cluster.GiB, 3 * cluster.GiB, 6 * cluster.GiB}
-	var rows []AblationWatermarkRow
-	for _, gap := range gaps {
+	return runPoints(par(parallelism), len(gaps), func(i int) AblationWatermarkRow {
+		gap := gaps[i]
 		eng := sim.NewEngine(seed)
 		high := int64(20 * cluster.GiB)
 		low := high - gap
@@ -268,9 +303,8 @@ func RunAblationWatermark(seed uint64) []AblationWatermarkRow {
 			return step < 60
 		})
 		eng.RunSeconds(620)
-		rows = append(rows, AblationWatermarkRow{GapBytes: gap, Fired: fired.Fired(), Migrated: migrated})
-	}
-	return rows
+		return AblationWatermarkRow{GapBytes: gap, Fired: fired.Fired(), Migrated: migrated}
+	})
 }
 
 // PrintAutoConverge renders the auto-converge ablation.

@@ -134,17 +134,22 @@ func RunAppPerf(cfg AppPerfConfig) *AppPerfResult {
 	return res
 }
 
-// RunAppPerfTables runs all six cells of Tables I-III.
-func RunAppPerfTables(scale float64, seed uint64) []*AppPerfResult {
-	var out []*AppPerfResult
+// RunAppPerfTables runs all six cells of Tables I-III. Every cell is an
+// independent scenario (own testbed, own seeded engine), so the cells fan
+// out across workers (0 or omitted = all cores, 1 = serial); results come
+// back in the fixed workload×technique order regardless of parallelism.
+func RunAppPerfTables(scale float64, seed uint64, parallelism ...int) []*AppPerfResult {
+	var cfgs []AppPerfConfig
 	for _, wk := range []WorkloadKind{WorkloadYCSB, WorkloadSysbench} {
 		for _, tech := range []core.Technique{core.PreCopy, core.PostCopy, core.Agile} {
-			out = append(out, RunAppPerf(AppPerfConfig{
+			cfgs = append(cfgs, AppPerfConfig{
 				Workload: wk, Technique: tech, Scale: scale, Seed: seed,
-			}))
+			})
 		}
 	}
-	return out
+	return runPoints(par(parallelism), len(cfgs), func(i int) *AppPerfResult {
+		return RunAppPerf(cfgs[i])
+	})
 }
 
 // PrintAppPerfTables renders Tables I, II and III from the six cells.

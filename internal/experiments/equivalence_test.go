@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+
+	"agilemig/internal/cluster"
+	"agilemig/internal/core"
+	"agilemig/internal/metrics"
+)
+
+// These tests enforce the engine's fast-forward contract: a run with idle
+// fast-forward enabled must be bit-identical to the same run stepped tick
+// by tick. Any component whose NextWake over-promises idleness shows up
+// here as a diverging metric.
+
+func sameSeries(t *testing.T, name string, a, b *metrics.Series) {
+	t.Helper()
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("%s: %d points fast-forwarded vs %d tick-by-tick", name, len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("%s diverges at point %d: %+v vs %+v", name, i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestFastForwardEquivalenceSweepPoint(t *testing.T) {
+	for _, tc := range []struct {
+		tech core.Technique
+		busy bool
+	}{
+		{core.Agile, false}, // the idle point is where fast-forward does the most skipping
+		{core.PreCopy, true},
+	} {
+		run := func(disable bool) SizeSweepRow {
+			cfg := DefaultSizeSweepConfig()
+			cfg.Scale = 0.05
+			cfg.DisableFastForward = disable
+			return runSweepPoint(cfg, tc.tech, 8*cluster.GiB, tc.busy, cfg.Scale)
+		}
+		ff, slow := run(false), run(true)
+		if ff != slow {
+			t.Errorf("%v busy=%v: fast-forwarded row %+v != tick-by-tick row %+v", tc.tech, tc.busy, ff, slow)
+		}
+	}
+}
+
+func TestFastForwardEquivalencePressureTimeline(t *testing.T) {
+	run := func(disable bool) *PressureResult {
+		cfg := DefaultPressureConfig(core.Agile)
+		cfg.Scale = 0.05
+		cfg.Seed = 7
+		cfg.DisableFastForward = disable
+		return RunPressureTimeline(cfg)
+	}
+	ff, slow := run(false), run(true)
+	sameSeries(t, "avg", ff.AvgThroughput, slow.AvgThroughput)
+	for i := range ff.PerVM {
+		sameSeries(t, ff.PerVM[i].Name, ff.PerVM[i], slow.PerVM[i])
+	}
+	if ff.PeakOps != slow.PeakOps || ff.RecoverySeconds != slow.RecoverySeconds ||
+		ff.MigrationStart != slow.MigrationStart {
+		t.Errorf("derived numbers diverge: peak %v/%v recovery %v/%v start %v/%v",
+			ff.PeakOps, slow.PeakOps, ff.RecoverySeconds, slow.RecoverySeconds,
+			ff.MigrationStart, slow.MigrationStart)
+	}
+	if (ff.Migration == nil) != (slow.Migration == nil) {
+		t.Fatalf("migration presence diverges: %v vs %v", ff.Migration, slow.Migration)
+	}
+	if ff.Migration != nil && *ff.Migration != *slow.Migration {
+		t.Errorf("migration result diverges:\n%+v\n%+v", *ff.Migration, *slow.Migration)
+	}
+}

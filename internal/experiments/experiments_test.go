@@ -10,15 +10,21 @@ import (
 
 // The experiments run here at a tenth of the paper's scale: every shape
 // assertion below is one the paper's evaluation makes at full scale.
+// Under -short the scenarios shrink further (shortScale); the shapes still
+// hold there, they are just less pronounced.
+
+func shortScale(normal, short float64) float64 {
+	if testing.Short() {
+		return short
+	}
+	return normal
+}
 
 func TestPressureTimelineShapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-minute scenario")
-	}
 	results := map[core.Technique]*PressureResult{}
 	for _, tech := range []core.Technique{core.PreCopy, core.PostCopy, core.Agile} {
 		cfg := DefaultPressureConfig(tech)
-		cfg.Scale = 0.1
+		cfg.Scale = shortScale(0.1, 0.05)
 		cfg.Duration = 2500 // stretch the window so even pre-copy completes
 		r := RunPressureTimeline(cfg)
 		if r.Migration == nil || r.Migration.End == 0 {
@@ -69,11 +75,8 @@ func minSmoothed(r *PressureResult) float64 {
 }
 
 func TestSizeSweepShapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-minute scenario")
-	}
 	cfg := DefaultSizeSweepConfig()
-	cfg.Scale = 0.1
+	cfg.Scale = shortScale(0.1, 0.05)
 	cfg.VMSizes = []int64{2 * cluster.GiB, 6 * cluster.GiB, 12 * cluster.GiB}
 	cfg.Busy = false
 	rows := RunSizeSweep(cfg)
@@ -120,11 +123,8 @@ func TestSizeSweepShapes(t *testing.T) {
 }
 
 func TestSizeSweepBusyCostsMore(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-minute scenario")
-	}
 	cfg := DefaultSizeSweepConfig()
-	cfg.Scale = 0.1
+	cfg.Scale = shortScale(0.1, 0.05)
 	// The busy-VM penalty appears once the VM far outgrows host memory
 	// (§V-B's "sudden increase" past 6 GB): at 12 GB the working-set
 	// rotation can no longer prefetch pages faster than the scan needs
@@ -154,13 +154,10 @@ func TestSizeSweepBusyCostsMore(t *testing.T) {
 }
 
 func TestAppPerfSysbenchShapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-minute scenario")
-	}
 	res := map[core.Technique]*AppPerfResult{}
 	for _, tech := range []core.Technique{core.PreCopy, core.PostCopy, core.Agile} {
 		res[tech] = RunAppPerf(AppPerfConfig{
-			Workload: WorkloadSysbench, Technique: tech, Scale: 0.1, Seed: 1,
+			Workload: WorkloadSysbench, Technique: tech, Scale: shortScale(0.1, 0.05), Seed: 1,
 		})
 	}
 	// Table I ordering: applications perform best with Agile, worst with
@@ -185,11 +182,8 @@ func TestAppPerfSysbenchShapes(t *testing.T) {
 }
 
 func TestWSSTrackingShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-minute scenario")
-	}
 	cfg := DefaultWSSTrackConfig()
-	cfg.Scale = 0.25
+	cfg.Scale = shortScale(0.25, 0.1)
 	r := RunWSSTracking(cfg)
 	// Fig. 9: the reservation converges to the working set (the dataset)
 	// within a tolerance band.
@@ -209,10 +203,7 @@ func TestWSSTrackingShape(t *testing.T) {
 }
 
 func TestAblationActivePush(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-minute scenario")
-	}
-	r := RunAblationActivePush(0.1, 1)
+	r := RunAblationActivePush(shortScale(0.1, 0.05), 1)
 	if r.WithPushSeconds <= 0 {
 		t.Fatal("with-push run did not complete")
 	}
@@ -225,10 +216,7 @@ func TestAblationActivePush(t *testing.T) {
 }
 
 func TestAblationRemoteSwap(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-minute scenario")
-	}
-	r := RunAblationRemoteSwap(0.1, 1)
+	r := RunAblationRemoteSwap(shortScale(0.1, 0.05), 1)
 	if r.AgileSeconds <= 0 || !r.NoRemoteDone {
 		t.Fatalf("runs incomplete: agile %.1f, noremote done %v", r.AgileSeconds, r.NoRemoteDone)
 	}
@@ -269,9 +257,6 @@ func TestAblationWatermark(t *testing.T) {
 }
 
 func TestPrintersProduceOutput(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs a scenario")
-	}
 	cfg := DefaultPressureConfig(core.Agile)
 	cfg.Scale = 0.05
 	r := RunPressureTimeline(cfg)
@@ -305,10 +290,7 @@ func TestScaleHelpers(t *testing.T) {
 }
 
 func TestAblationAutoConverge(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-minute scenario")
-	}
-	r := RunAblationAutoConverge(0.1, 1)
+	r := RunAblationAutoConverge(shortScale(0.1, 0.05), 1)
 	if r.BaselineRounds < 0 || r.ThrottledRounds < 0 {
 		t.Fatal("a run did not complete")
 	}

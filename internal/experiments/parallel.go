@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runPoints evaluates fn(0..n-1) across at most parallelism goroutines
+// (0 = GOMAXPROCS, 1 = serial) and returns the results in input order.
+// Every experiment point builds its own testbed with its own seeded engine,
+// so points share no state and the fan-out changes only wall-clock time,
+// never results.
+// par unpacks an optional trailing parallelism argument: runners that
+// predate the fan-out keep their old signatures by taking `parallelism
+// ...int`, and an omitted argument means 0 (all cores).
+func par(parallelism []int) int {
+	if len(parallelism) > 0 {
+		return parallelism[0]
+	}
+	return 0
+}
+
+func runPoints[T any](parallelism, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -29,6 +29,9 @@ type PressureConfig struct {
 	RampStagger float64
 	MigrateAt   float64
 	Duration    float64
+
+	// DisableFastForward steps tick by tick (see cluster.Config).
+	DisableFastForward bool
 }
 
 // DefaultPressureConfig returns the paper's timeline for a technique.
@@ -65,6 +68,18 @@ type PressureResult struct {
 	RecoverySeconds float64
 }
 
+// RunPressureTechniques runs the Figures 4-6 timeline once per technique —
+// the same scenario except for cfg.Technique — fanning the independent
+// scenarios across workers (0 = all cores, 1 = serial). Results come back
+// in techs order and are identical to running each timeline serially.
+func RunPressureTechniques(cfg PressureConfig, techs []core.Technique, parallelism int) []*PressureResult {
+	return runPoints(parallelism, len(techs), func(i int) *PressureResult {
+		c := cfg
+		c.Technique = techs[i]
+		return RunPressureTimeline(c)
+	})
+}
+
 // RunPressureTimeline executes the scenario.
 func RunPressureTimeline(cfg PressureConfig) *PressureResult {
 	s := cfg.Scale
@@ -78,6 +93,7 @@ func RunPressureTimeline(cfg PressureConfig) *PressureResult {
 	tcfg.HostRAMBytes = scaleBytes(PaperHostRAM, s)
 	tcfg.SwapPartitionBytes = scaleBytes(30*cluster.GiB, s)
 	tcfg.IntermediateRAMBytes = scaleBytes(100*cluster.GiB, s)
+	tcfg.DisableFastForward = cfg.DisableFastForward
 	tb := cluster.New(tcfg)
 
 	vmMem := scaleBytes(PaperVMMem, s)

@@ -22,6 +22,12 @@ type SizeSweepConfig struct {
 	Seed       uint64
 	// TimeoutSeconds bounds each individual migration (scaled).
 	TimeoutSeconds float64
+	// Parallelism caps the worker count for fanning sweep points across
+	// cores: 0 = GOMAXPROCS, 1 = serial. Each point runs on its own testbed
+	// with its own engine, so results are identical at any setting.
+	Parallelism int
+	// DisableFastForward steps tick by tick (see cluster.Config).
+	DisableFastForward bool
 }
 
 // DefaultSizeSweepConfig returns the paper's sweep.
@@ -56,13 +62,13 @@ type SizeSweepRow struct {
 // while the VM grows past it).
 const SizeSweepHostRAM = 6 * cluster.GiB
 
-// RunSizeSweep executes the sweep, one fresh testbed per point.
+// RunSizeSweep executes the sweep, one fresh testbed per point; independent
+// points fan out across cfg.Parallelism workers.
 func RunSizeSweep(cfg SizeSweepConfig) []SizeSweepRow {
 	s := cfg.Scale
 	if s <= 0 {
 		s = 1
 	}
-	var rows []SizeSweepRow
 	variants := []bool{}
 	if cfg.Idle {
 		variants = append(variants, false)
@@ -70,14 +76,23 @@ func RunSizeSweep(cfg SizeSweepConfig) []SizeSweepRow {
 	if cfg.Busy {
 		variants = append(variants, true)
 	}
+	type point struct {
+		tech core.Technique
+		busy bool
+		size int64
+	}
+	var points []point
 	for _, tech := range cfg.Techniques {
 		for _, busy := range variants {
 			for _, size := range cfg.VMSizes {
-				rows = append(rows, runSweepPoint(cfg, tech, size, busy, s))
+				points = append(points, point{tech, busy, size})
 			}
 		}
 	}
-	return rows
+	return runPoints(cfg.Parallelism, len(points), func(i int) SizeSweepRow {
+		p := points[i]
+		return runSweepPoint(cfg, p.tech, p.size, p.busy, s)
+	})
 }
 
 func runSweepPoint(cfg SizeSweepConfig, tech core.Technique, vmBytes int64, busy bool, s float64) SizeSweepRow {
@@ -86,6 +101,7 @@ func runSweepPoint(cfg SizeSweepConfig, tech core.Technique, vmBytes int64, busy
 	tcfg.HostRAMBytes = scaleBytes(SizeSweepHostRAM, s)
 	tcfg.SwapPartitionBytes = scaleBytes(30*cluster.GiB, s)
 	tcfg.IntermediateRAMBytes = scaleBytes(32*cluster.GiB, s)
+	tcfg.DisableFastForward = cfg.DisableFastForward
 	tb := cluster.New(tcfg)
 
 	agile := tech == core.Agile

@@ -205,6 +205,15 @@ func (s *Sampler) Tick(now sim.Time) {
 	s.series.Add(s.eng.NowSeconds(), s.fn())
 }
 
+// NextWake reports the sampler's next sampling tick; every tick before it
+// is an exact no-op, so the engine may skip ahead to it.
+func (s *Sampler) NextWake(now sim.Time) (sim.Time, bool) {
+	if s.next <= now {
+		return now + 1, true
+	}
+	return s.next, true
+}
+
 // SampleRate registers a sampler that records the per-second rate of a
 // cumulative counter (e.g. completed operations) every intervalSeconds.
 func SampleRate(eng *sim.Engine, intervalSeconds float64, series *Series, counter func() float64) *Sampler {

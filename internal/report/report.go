@@ -28,6 +28,9 @@ var paperTable = map[string]map[core.Technique]float64{
 type Options struct {
 	Scale float64
 	Seed  uint64
+	// Parallelism bounds the experiment-point workers within each section
+	// (0 = all cores, 1 = serial). Results are identical either way.
+	Parallelism int
 	// Sections toggles (all true by default through Generate).
 	Pressure bool
 	Sweep    bool
@@ -81,12 +84,14 @@ func pressureSection(w io.Writer, opt Options) {
 		mig  float64
 		rec  float64
 	}
+	techs := []core.Technique{core.PreCopy, core.PostCopy, core.Agile}
+	cfg := experiments.DefaultPressureConfig(core.PreCopy)
+	cfg.Scale = opt.Scale
+	cfg.Seed = opt.Seed
+	results := experiments.RunPressureTechniques(cfg, techs, opt.Parallelism)
 	var rows []row
-	for _, tech := range []core.Technique{core.PreCopy, core.PostCopy, core.Agile} {
-		cfg := experiments.DefaultPressureConfig(tech)
-		cfg.Scale = opt.Scale
-		cfg.Seed = opt.Seed
-		r := experiments.RunPressureTimeline(cfg)
+	for i, tech := range techs {
+		r := results[i]
 		mig, rec := -1.0, r.RecoverySeconds
 		if r.Migration != nil && r.Migration.End != 0 {
 			mig = r.Migration.TotalSeconds
@@ -152,7 +157,7 @@ func sweepSection(w io.Writer, opt Options) {
 
 func tablesSection(w io.Writer, opt Options) {
 	fmt.Fprintf(w, "## Tables I–III\n\n")
-	results := experiments.RunAppPerfTables(opt.Scale, opt.Seed)
+	results := experiments.RunAppPerfTables(opt.Scale, opt.Seed, opt.Parallelism)
 	cell := func(wk experiments.WorkloadKind, tech core.Technique) *experiments.AppPerfResult {
 		for _, r := range results {
 			if r.Workload == wk && r.Technique == tech {
@@ -241,16 +246,16 @@ func ablationSection(w io.Writer, opt Options) {
 		!push.WithoutPushCompleted && push.WithoutPushResidualPages > 0,
 		fmt.Sprintf("with push %.1f s; without: incomplete, %d pages still source-bound",
 			push.WithPushSeconds, push.WithoutPushResidualPages)))
-	remote := experiments.RunAblationRemoteSwap(opt.Scale, opt.Seed)
+	remote := experiments.RunAblationRemoteSwap(opt.Scale, opt.Seed, opt.Parallelism)
 	fmt.Fprintf(w, "* Remote per-VM swap is the win (vs VMware-style local swap): %s\n", check(
 		remote.NoRemoteDone && remote.NoRemoteMB > remote.AgileMB && remote.NoRemoteSecs > remote.AgileSeconds,
 		fmt.Sprintf("agile %.1f s/%.0f MB vs no-remote %.1f s/%.0f MB",
 			remote.AgileSeconds, remote.AgileMB, remote.NoRemoteSecs, remote.NoRemoteMB)))
-	placement := experiments.RunAblationPlacement(opt.Seed)
+	placement := experiments.RunAblationPlacement(opt.Seed, opt.Parallelism)
 	fmt.Fprintf(w, "* Load-aware placement avoids NACK retries: %s\n", check(
 		placement.BlindRetries > placement.LoadAwareRetries,
 		fmt.Sprintf("load-aware %d vs blind %d retries", placement.LoadAwareRetries, placement.BlindRetries)))
-	auto := experiments.RunAblationAutoConverge(opt.Scale, opt.Seed)
+	auto := experiments.RunAblationAutoConverge(opt.Scale, opt.Seed, opt.Parallelism)
 	fmt.Fprintf(w, "* Auto-converge (SDPS) trades throughput for convergence (§VI): %s\n", check(
 		auto.ThrottleEvents > 0 && auto.ThrottledOpsRate < auto.BaselineOpsRate,
 		fmt.Sprintf("%.0f → %.0f ops/s during migration; %d → %d rounds",

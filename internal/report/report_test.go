@@ -6,9 +6,6 @@ import (
 )
 
 func TestGenerateTinyScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs scenarios")
-	}
 	var sb strings.Builder
 	// A tiny scale keeps this test fast; the shape checks may legitimately
 	// report DEVIATION at 0.05 (compression), so only structure is

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -46,6 +45,46 @@ type TickerFunc func(now Time)
 // Tick calls f(now).
 func (f TickerFunc) Tick(now Time) { f(now) }
 
+// Never is a NextWake result meaning "no tick needed until something
+// external (an event, another component) touches me". It is later than any
+// reachable simulated time, so the event queue or the run deadline always
+// bounds the jump first.
+const Never Time = 1 << 62
+
+// IdleHinter is an optional interface a Ticker may implement to let the
+// engine fast-forward across idle spans. NextWake returns the earliest
+// future tick at which the component's Tick call could change any state,
+// assuming nothing external touches the component before then, plus
+// ok=true; ok=false means the component cannot predict its next work and
+// must be ticked every tick.
+//
+// The contract is strict, because fast-forwarded runs must be bit-identical
+// to tick-by-tick runs: a component may only report a wake later than now+1
+// when every skipped Tick call would have been an exact state no-op (no
+// counter, credit, queue, rotation or RNG advance). Components that cannot
+// guarantee that must return now+1 while active; returning now+1 merely
+// disables skipping, never changes results.
+type IdleHinter interface {
+	NextWake(now Time) (Time, bool)
+}
+
+// hintedTicker pairs a tick function with an idle hint (see
+// AddTickerFuncHinted).
+type hintedTicker struct {
+	f    func(now Time)
+	hint func(now Time) (Time, bool)
+}
+
+func (t hintedTicker) Tick(now Time)                  { t.f(now) }
+func (t hintedTicker) NextWake(now Time) (Time, bool) { return t.hint(now) }
+
+// tickerEntry caches the IdleHinter type assertion made at registration so
+// the per-step idle scan costs one interface call per ticker.
+type tickerEntry struct {
+	t Ticker
+	h IdleHinter // nil when t does not implement IdleHinter
+}
+
 type scheduledEvent struct {
 	at  Time
 	seq uint64
@@ -61,13 +100,48 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(scheduledEvent)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// push and pop are hand-rolled sift operations: container/heap would box
+// every scheduledEvent into an interface{}, allocating on each Schedule and
+// each fired event — measurably hot in long runs.
+func (q *eventQueue) push(ev scheduledEvent) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.Less(i, parent) {
+			break
+		}
+		h.Swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() scheduledEvent {
+	h := *q
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = scheduledEvent{} // release fn for GC
+	h = h[:n]
+	i := 0
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && h.Less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && h.Less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.Swap(i, smallest)
+		i = smallest
+	}
+	*q = h
 	return ev
 }
 
@@ -77,11 +151,16 @@ func (q *eventQueue) Pop() interface{} {
 type Engine struct {
 	now     Time
 	tickLen time.Duration
-	tickers [numPhases][]Ticker
-	events  eventQueue
-	seq     uint64
-	stopped bool
-	rng     *RNG
+	tickers [numPhases][]tickerEntry
+	// unhinted counts registered tickers without an IdleHinter; any such
+	// ticker disables fast-forward for the whole run (it must see every
+	// tick).
+	unhinted int
+	ff       bool
+	events   eventQueue
+	seq      uint64
+	stopped  bool
+	rng      *RNG
 }
 
 // NewEngine returns an engine with the given master seed and the default
@@ -96,8 +175,16 @@ func NewEngineTick(seed uint64, tickLen time.Duration) *Engine {
 	if tickLen <= 0 {
 		panic("sim: non-positive tick length")
 	}
-	return &Engine{tickLen: tickLen, rng: NewRNG(seed)}
+	return &Engine{tickLen: tickLen, rng: NewRNG(seed), ff: true}
 }
+
+// SetFastForward enables or disables idle fast-forward (on by default).
+// Disabling it forces tick-by-tick stepping; results are identical either
+// way — the toggle exists so tests can prove exactly that.
+func (e *Engine) SetFastForward(on bool) { e.ff = on }
+
+// FastForwardEnabled reports whether idle fast-forward is on.
+func (e *Engine) FastForwardEnabled() bool { return e.ff }
 
 // Now returns the current simulated time in ticks.
 func (e *Engine) Now() Time { return e.now }
@@ -130,12 +217,27 @@ func (e *Engine) AddTicker(p Phase, t Ticker) {
 	if p < 0 || p >= numPhases {
 		panic(fmt.Sprintf("sim: invalid phase %d", p))
 	}
-	e.tickers[p] = append(e.tickers[p], t)
+	ent := tickerEntry{t: t}
+	if h, ok := t.(IdleHinter); ok {
+		ent.h = h
+	} else {
+		e.unhinted++
+	}
+	e.tickers[p] = append(e.tickers[p], ent)
 }
 
 // AddTickerFunc registers a function as periodic work in the given phase.
+// Function tickers carry no idle hint, so registering one disables
+// fast-forward for the run; use AddTickerFuncHinted when the closure can
+// report when it next needs to run.
 func (e *Engine) AddTickerFunc(p Phase, f func(now Time)) {
 	e.AddTicker(p, TickerFunc(f))
+}
+
+// AddTickerFuncHinted registers a function ticker together with an idle
+// hint obeying the IdleHinter contract.
+func (e *Engine) AddTickerFuncHinted(p Phase, f func(now Time), hint func(now Time) (Time, bool)) {
+	e.AddTicker(p, hintedTicker{f: f, hint: hint})
 }
 
 // Schedule runs fn at the start of the given tick. Scheduling in the past
@@ -146,7 +248,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		at = e.now + 1
 	}
 	e.seq++
-	heap.Push(&e.events, scheduledEvent{at: at, seq: e.seq, fn: fn})
+	e.events.push(scheduledEvent{at: at, seq: e.seq, fn: fn})
 }
 
 // After runs fn d ticks from now (at least one tick in the future).
@@ -187,21 +289,64 @@ func (e *Engine) Stopped() bool { return e.stopped }
 func (e *Engine) Step() {
 	e.now++
 	for len(e.events) > 0 && e.events[0].at <= e.now {
-		ev := heap.Pop(&e.events).(scheduledEvent)
+		ev := e.events.pop()
 		ev.fn()
 	}
 	for p := Phase(0); p < numPhases; p++ {
-		for _, t := range e.tickers[p] {
-			t.Tick(e.now)
+		for _, ent := range e.tickers[p] {
+			ent.t.Tick(e.now)
 		}
 	}
 }
 
+// idleTarget returns the tick the clock may jump to (exclusive of the work
+// done at that tick) when every registered ticker reports idle past the
+// next tick: min(until, next event, earliest component wake). ok=false
+// means no skip is possible and the engine must step normally.
+func (e *Engine) idleTarget(until Time) (Time, bool) {
+	if !e.ff || e.unhinted > 0 {
+		return 0, false
+	}
+	target := until
+	if len(e.events) > 0 && e.events[0].at < target {
+		target = e.events[0].at
+	}
+	if target <= e.now+1 {
+		return 0, false
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		for _, ent := range e.tickers[p] {
+			wake, ok := ent.h.NextWake(e.now)
+			if !ok || wake <= e.now+1 {
+				return 0, false
+			}
+			if wake < target {
+				target = wake
+			}
+		}
+	}
+	return target, true
+}
+
+// Advance performs one fast-forward-aware step toward until: if every
+// component reports idle beyond the next tick, the clock first jumps so
+// that the single Step lands exactly on min(until, next event, earliest
+// wake); otherwise it is a plain Step. Because components may only report
+// idle when their skipped ticks would have been exact no-ops (see
+// IdleHinter), the observable state trajectory is bit-identical to
+// stepping tick by tick.
+func (e *Engine) Advance(until Time) {
+	if target, ok := e.idleTarget(until); ok {
+		e.now = target - 1
+	}
+	e.Step()
+}
+
 // Run advances the simulation until the clock reaches the given time or
-// Stop is called.
+// Stop is called, fast-forwarding across idle spans.
 func (e *Engine) Run(until Time) {
 	for e.now < until && !e.stopped {
-		e.Step()
+		e.Advance(until)
 	}
 }
 

@@ -261,3 +261,30 @@ func TestRNGZeroSeedUsable(t *testing.T) {
 		t.Fatal("zero-seeded RNG emitting zeros")
 	}
 }
+
+// BenchmarkEngineTicksPerSecond measures the raw kernel tick rate on a
+// testbed-shaped engine: one hinted ticker per phase plus a steady trickle
+// of scheduled events, stepped tick by tick (fast-forward would make the
+// number meaningless). The ticks/s metric is what BENCH_kernel.json records.
+func BenchmarkEngineTicksPerSecond(b *testing.B) {
+	e := NewEngine(1)
+	e.SetFastForward(false)
+	sink := 0
+	for p := Phase(0); p < numPhases; p++ {
+		e.AddTickerFuncHinted(p,
+			func(now Time) { sink++ },
+			func(now Time) (Time, bool) { return now + 1, true })
+	}
+	var rearm func()
+	rearm = func() { e.After(8, rearm); sink++ }
+	e.After(8, rearm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("tickers never ran")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
+}

@@ -25,6 +25,11 @@ type Network struct {
 	eng   *sim.Engine
 	nics  []*NIC
 	flows []*Flow
+
+	// arbitration scratch, reused across ticks to keep the per-tick path
+	// allocation-free
+	active []*Flow
+	ports  []*NIC
 }
 
 // New returns a network bound to the engine.
@@ -44,6 +49,13 @@ type NIC struct {
 	// statistics
 	egressBytes  int64
 	ingressBytes int64
+
+	// arbitration scratch (valid only within one arbitrate call)
+	arbMark  bool
+	arbEgCap int64
+	arbInCap int64
+	arbEgCnt int
+	arbInCnt int
 }
 
 // NewNIC creates a full-duplex NIC with the given bandwidth in bytes per
@@ -91,9 +103,15 @@ type Flow struct {
 	backlog   int64 // offered, not yet transmitted
 	offered   int64 // cumulative offered bytes
 	delivered int64 // cumulative delivered bytes
-	transit   []inFlight
-	msgs      []pendingMessage
 	closed    bool
+
+	// transit and msgs are FIFO queues popped from the head; trHead/msgHead
+	// index the live head so a pop is O(1) instead of shifting the slice
+	// (migrations queue tens of thousands of page messages on one flow).
+	transit []inFlight
+	trHead  int
+	msgs    []pendingMessage
+	msgHead int
 
 	// arbitration scratch
 	rate    int64
@@ -150,8 +168,8 @@ func (f *Flow) SendMessage(bytes int64, fn func()) {
 func (f *Flow) Close() {
 	f.closed = true
 	f.backlog = 0
-	f.transit = nil
-	f.msgs = nil
+	f.transit, f.trHead = nil, 0
+	f.msgs, f.msgHead = nil, 0
 }
 
 // Closed reports whether the flow has been closed.
@@ -169,7 +187,7 @@ func (f *Flow) Offered() int64 { return f.offered }
 // InFlight returns bytes transmitted but not yet delivered.
 func (f *Flow) InFlight() int64 {
 	var t int64
-	for _, x := range f.transit {
+	for _, x := range f.transit[f.trHead:] {
 		t += x.bytes
 	}
 	return t
@@ -181,24 +199,63 @@ func (n *Network) Tick(now sim.Time) {
 	n.arbitrate()
 }
 
+// NextWake reports when the network next has work: immediately while any
+// flow has a backlog to arbitrate (or a deliverable message), otherwise at
+// the earliest in-transit arrival. With no backlog and nothing in transit a
+// network tick is an exact no-op, so the engine may skip ahead.
+func (n *Network) NextWake(now sim.Time) (sim.Time, bool) {
+	wake := sim.Never
+	for _, f := range n.flows {
+		if f.closed {
+			continue
+		}
+		if f.backlog > 0 {
+			return now + 1, true
+		}
+		if f.msgHead < len(f.msgs) && f.msgs[f.msgHead].endOffset <= f.delivered {
+			return now + 1, true
+		}
+		// transit is appended in arrival order, so the head is earliest.
+		if f.trHead < len(f.transit) && f.transit[f.trHead].arrive < wake {
+			wake = f.transit[f.trHead].arrive
+		}
+	}
+	return wake, true
+}
+
 func (n *Network) deliver(now sim.Time) {
 	for _, f := range n.flows {
 		if f.closed {
 			continue
 		}
-		i := 0
-		for i < len(f.transit) && f.transit[i].arrive <= now {
-			f.delivered += f.transit[i].bytes
-			f.dst.ingressBytes += f.transit[i].bytes
-			i++
+		for f.trHead < len(f.transit) && f.transit[f.trHead].arrive <= now {
+			f.delivered += f.transit[f.trHead].bytes
+			f.dst.ingressBytes += f.transit[f.trHead].bytes
+			f.trHead++
 		}
-		if i > 0 {
-			f.transit = f.transit[:copy(f.transit, f.transit[i:])]
+		if f.trHead > 0 {
+			// Compact so appends reuse capacity instead of growing forever
+			// (amortized O(1): only when the dead head outweighs the tail).
+			if f.trHead == len(f.transit) {
+				f.transit, f.trHead = f.transit[:0], 0
+			} else if f.trHead >= len(f.transit)-f.trHead {
+				f.transit = f.transit[:copy(f.transit, f.transit[f.trHead:])]
+				f.trHead = 0
+			}
 		}
-		for len(f.msgs) > 0 && f.msgs[0].endOffset <= f.delivered {
-			fn := f.msgs[0].fn
-			f.msgs = f.msgs[:copy(f.msgs, f.msgs[1:])]
-			fn()
+		for f.msgHead < len(f.msgs) && f.msgs[f.msgHead].endOffset <= f.delivered {
+			fn := f.msgs[f.msgHead].fn
+			f.msgs[f.msgHead].fn = nil // release for GC; the slice is reused
+			f.msgHead++
+			fn() // may append to f.msgs or close the flow
+		}
+		if f.msgHead > 0 {
+			if f.msgHead == len(f.msgs) {
+				f.msgs, f.msgHead = f.msgs[:0], 0
+			} else if f.msgHead >= len(f.msgs)-f.msgHead {
+				f.msgs = f.msgs[:copy(f.msgs, f.msgs[f.msgHead:])]
+				f.msgHead = 0
+			}
 		}
 	}
 }
@@ -213,42 +270,42 @@ func (n *Network) arbitrate() {
 	if len(active) == 0 {
 		return
 	}
-	egCap := make(map[*NIC]int64, len(n.nics))
-	inCap := make(map[*NIC]int64, len(n.nics))
-	egCnt := make(map[*NIC]int, len(n.nics))
-	inCnt := make(map[*NIC]int, len(n.nics))
+	// Per-port capacity and unsettled-flow counts live in scratch fields on
+	// the NICs themselves (no per-tick maps); ports lists the NICs touched.
+	ports := n.ports[:0]
 	for _, f := range active {
 		f.rate = 0
 		f.settled = false
-		if _, ok := egCap[f.src]; !ok {
-			egCap[f.src] = f.src.egressBpt
+		for _, nic := range [2]*NIC{f.src, f.dst} {
+			if !nic.arbMark {
+				nic.arbMark = true
+				nic.arbEgCap = nic.egressBpt
+				nic.arbInCap = nic.ingressBpt
+				nic.arbEgCnt = 0
+				nic.arbInCnt = 0
+				ports = append(ports, nic)
+			}
 		}
-		if _, ok := inCap[f.dst]; !ok {
-			inCap[f.dst] = f.dst.ingressBpt
-		}
-		egCnt[f.src]++
-		inCnt[f.dst]++
+		f.src.arbEgCnt++
+		f.dst.arbInCnt++
 	}
+	n.ports = ports
 	remaining := len(active)
 	for remaining > 0 {
 		// Find the bottleneck share across all ports with unsettled flows.
 		share := int64(-1)
-		for nic, cnt := range egCnt {
-			if cnt == 0 {
-				continue
+		for _, nic := range ports {
+			if nic.arbEgCnt > 0 {
+				s := nic.arbEgCap / int64(nic.arbEgCnt)
+				if share < 0 || s < share {
+					share = s
+				}
 			}
-			s := egCap[nic] / int64(cnt)
-			if share < 0 || s < share {
-				share = s
-			}
-		}
-		for nic, cnt := range inCnt {
-			if cnt == 0 {
-				continue
-			}
-			s := inCap[nic] / int64(cnt)
-			if share < 0 || s < share {
-				share = s
+			if nic.arbInCnt > 0 {
+				s := nic.arbInCap / int64(nic.arbInCnt)
+				if share < 0 || s < share {
+					share = s
+				}
 			}
 		}
 		if share < 0 {
@@ -266,10 +323,10 @@ func (n *Network) arbitrate() {
 				f.rate = demand
 				f.settled = true
 				settledAny = true
-				egCap[f.src] -= demand
-				inCap[f.dst] -= demand
-				egCnt[f.src]--
-				inCnt[f.dst]--
+				f.src.arbEgCap -= demand
+				f.dst.arbInCap -= demand
+				f.src.arbEgCnt--
+				f.dst.arbInCnt--
 				remaining--
 			}
 		}
@@ -282,19 +339,22 @@ func (n *Network) arbitrate() {
 			if f.settled {
 				continue
 			}
-			bottleneck := egCap[f.src]/int64(egCnt[f.src]) == share ||
-				inCap[f.dst]/int64(inCnt[f.dst]) == share
+			bottleneck := f.src.arbEgCap/int64(f.src.arbEgCnt) == share ||
+				f.dst.arbInCap/int64(f.dst.arbInCnt) == share
 			if !bottleneck {
 				continue
 			}
 			f.rate = share
 			f.settled = true
-			egCap[f.src] -= share
-			inCap[f.dst] -= share
-			egCnt[f.src]--
-			inCnt[f.dst]--
+			f.src.arbEgCap -= share
+			f.dst.arbInCap -= share
+			f.src.arbEgCnt--
+			f.dst.arbInCnt--
 			remaining--
 		}
+	}
+	for _, nic := range ports {
+		nic.arbMark = false
 	}
 	now := n.eng.Now()
 	for _, f := range active {
@@ -312,12 +372,13 @@ func (n *Network) arbitrate() {
 }
 
 func (n *Network) activeFlows() []*Flow {
-	var active []*Flow
+	active := n.active[:0]
 	for _, f := range n.flows {
 		if !f.closed && f.backlog > 0 {
 			active = append(active, f)
 		}
 	}
+	n.active = active
 	return active
 }
 

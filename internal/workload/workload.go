@@ -156,6 +156,27 @@ type Client struct {
 	readsDone    int64
 	writesDone   int64
 	stalledOps   int64
+
+	// free is a freelist of op records. Each op's lifecycle spans several
+	// network and fault callbacks; pooling the record and its three
+	// callbacks keeps the per-operation path allocation-free.
+	free []*op
+}
+
+// op carries one operation's state across its request, page-touch and
+// response callbacks. The callbacks are bound once when the op record is
+// first created and reused across recycles.
+type op struct {
+	c        *Client
+	rec      int64
+	write    bool
+	respFlow *simnet.Flow
+	pending  int
+	stalled  bool
+
+	executeF func() // request delivered at the VM host
+	finishF  func() // one touched page became usable
+	doneF    func() // response delivered back at the client
 }
 
 // NewClient creates a client and registers it in sim.PhaseWorkload. The
@@ -232,48 +253,61 @@ func (c *Client) Tick(_ sim.Time) {
 	}
 }
 
+// NextWake reports when the client next has work. A tick is an exact no-op
+// only when the token bucket is at a fixed point (accruing another tick's
+// tokens changes nothing once the bucket is capped at the burst size) and
+// no operation could be issued; anything else — accrual in progress, or an
+// issuable op — needs the very next tick. Op completions arrive through
+// the network and device components, whose own hints wake the engine.
+func (c *Client) NextWake(now sim.Time) (sim.Time, bool) {
+	next := c.tokens + c.perTick*c.store.VM().CPUQuota()
+	if burst := float64(c.cfg.Concurrency); next > burst {
+		next = burst
+	}
+	if next != c.tokens {
+		return now + 1, true
+	}
+	if next >= 1 && c.inflight < c.cfg.Concurrency && !c.paused && c.store.VM().Running() {
+		return now + 1, true
+	}
+	return sim.Never, true
+}
+
 func (c *Client) startOp() {
-	write := c.rng.Float64() < c.cfg.WriteFraction
-	rec := c.d.Next(c.rng)
+	var o *op
+	if n := len(c.free); n > 0 {
+		o = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		o = &op{c: c}
+		o.executeF = o.execute
+		o.finishF = o.finish
+		o.doneF = o.done
+	}
+	o.write = c.rng.Float64() < c.cfg.WriteFraction
+	o.rec = c.d.Next(c.rng)
 	// Capture the flows at issue time so an op in flight across a
 	// migration switchover completes on the path it started on.
-	respFlow := c.respFlow
-	c.reqFlow.SendMessage(c.cfg.RequestBytes, func() {
-		c.execute(rec, write, respFlow)
-	})
+	o.respFlow = c.respFlow
+	o.pending = 0
+	o.stalled = false
+	c.reqFlow.SendMessage(c.cfg.RequestBytes, o.executeF)
 }
 
 // execute touches the operation's pages at the VM and sends the response
 // when they are all usable.
-func (c *Client) execute(rec int64, write bool, respFlow *simnet.Flow) {
+func (o *op) execute() {
+	c := o.c
 	vm := c.store.VM()
 	nPages := c.cfg.PagesPerRead
-	if write {
+	if o.write {
 		nPages = c.cfg.PagesPerWrite
 	}
-	first := c.store.PageOfRecord(rec)
-	pending := 1 // guards against synchronous completion racing the loop
-	stalled := false
-	finish := func() {
-		pending--
-		if pending > 0 {
-			return
-		}
-		if stalled {
-			c.stalledOps++
-		}
-		respFlow.SendMessage(c.cfg.ResponseBytes, func() {
-			c.opsCompleted++
-			if write {
-				c.writesDone++
-			} else {
-				c.readsDone++
-			}
-			c.inflight--
-		})
-	}
+	first := c.store.PageOfRecord(o.rec)
+	o.pending = 1 // guards against synchronous completion racing the loop
 	dirtied := nPages
-	if write && c.cfg.WritePagesDirtied > 0 && c.cfg.WritePagesDirtied < nPages {
+	if o.write && c.cfg.WritePagesDirtied > 0 && c.cfg.WritePagesDirtied < nPages {
 		dirtied = c.cfg.WritePagesDirtied
 	}
 	last := mem.PageID(c.store.Pages()) + c.store.basePage
@@ -282,15 +316,43 @@ func (c *Client) execute(rec int64, write bool, respFlow *simnet.Flow) {
 		if p >= last {
 			p = c.store.basePage + (p - last) // wrap within dataset
 		}
-		pending++
+		o.pending++
 		// The first WritePagesDirtied pages of a write are modified; the
 		// rest are read-only touches (index traversal).
-		w := write && i < dirtied
-		if vm.Access(p, w, finish) {
-			pending--
+		w := o.write && i < dirtied
+		if vm.Access(p, w, o.finishF) {
+			o.pending--
 		} else {
-			stalled = true
+			o.stalled = true
 		}
 	}
-	finish()
+	o.finish()
+}
+
+// finish runs once per touched page becoming usable; the last one sends the
+// response.
+func (o *op) finish() {
+	o.pending--
+	if o.pending > 0 {
+		return
+	}
+	if o.stalled {
+		o.c.stalledOps++
+	}
+	o.respFlow.SendMessage(o.c.cfg.ResponseBytes, o.doneF)
+}
+
+// done runs when the response reaches the client; the op record returns to
+// the freelist. A record whose callbacks were dropped by a flow Close is
+// simply never recycled.
+func (o *op) done() {
+	c := o.c
+	c.opsCompleted++
+	if o.write {
+		c.writesDone++
+	} else {
+		c.readsDone++
+	}
+	c.inflight--
+	c.free = append(c.free, o)
 }

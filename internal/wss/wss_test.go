@@ -111,10 +111,19 @@ func TestTrackerBacksOffToSlowInterval(t *testing.T) {
 }
 
 func TestTrackerReconvergesAfterGrowth(t *testing.T) {
+	// The full-size scenario thrashes hard after the growth step (a large
+	// throttled-admission backlog builds up), which makes this by far the
+	// slowest test in the suite; -short runs a half-size VM instead.
+	vmBytes, hotBytes := 2*gib, 256*mib
+	settle, regrow := 300.0, 500.0
+	if testing.Short() {
+		vmBytes, hotBytes = gib, 128*mib
+		settle, regrow = 200, 250
+	}
 	eng := sim.NewEngine(1)
-	tb := mem.NewTable(int(2 * gib / mem.PageSize))
-	g := cgroup.New(eng, "vm", tb, &hotBackend{eng: eng}, 2*gib)
-	hot := int(256 * mib / mem.PageSize)
+	tb := mem.NewTable(int(vmBytes / mem.PageSize))
+	g := cgroup.New(eng, "vm", tb, &hotBackend{eng: eng}, vmBytes)
+	hot := int(hotBytes / mem.PageSize)
 	grow := false
 	pos := 0
 	eng.AddTickerFunc(sim.PhaseWorkload, func(sim.Time) {
@@ -140,10 +149,10 @@ func TestTrackerReconvergesAfterGrowth(t *testing.T) {
 		pos = (pos + chunk) % n
 	})
 	tr := NewTracker(eng, g, DefaultTrackerConfig())
-	eng.RunSeconds(300)
+	eng.RunSeconds(settle)
 	small := tr.EstimateBytes()
 	grow = true
-	eng.RunSeconds(500)
+	eng.RunSeconds(regrow)
 	big := tr.EstimateBytes()
 	if big < small*2 {
 		t.Fatalf("estimate did not follow working-set growth: %d -> %d MiB", small/mib, big/mib)
