@@ -6,20 +6,27 @@
 // Usage:
 //
 //	agilesim [-scale f] [-seed n] [-csv file] [-parallel n]
+//	         [-trace-out file] [-trace-jsonl file] [-metrics-out file]
 //	         [-cpuprofile file] [-memprofile file] <experiment>
 //
 // Experiments:
 //
-//	fig4     YCSB throughput timeline during pre-copy migration
-//	fig5     YCSB throughput timeline during post-copy migration
-//	fig6     YCSB throughput timeline during Agile migration
-//	fig7     total migration time vs VM size (idle & busy, all techniques)
-//	fig8     data transferred vs VM size (same sweep)
-//	tables   Tables I-III (app performance, migration time, data volume)
-//	fig9     transparent WSS tracking (reservation over time)
-//	fig10    YCSB throughput while the reservation adapts
-//	ablation design-choice ablations (push, remote swap, placement, watermarks)
-//	all      everything above
+//	fig4       YCSB throughput timeline during pre-copy migration
+//	fig5       YCSB throughput timeline during post-copy migration
+//	fig6       YCSB throughput timeline during Agile migration
+//	fig7       total migration time vs VM size (idle & busy, all techniques)
+//	fig8       data transferred vs VM size (same sweep)
+//	tables     Tables I-III (app performance, migration time, data volume)
+//	fig9       transparent WSS tracking (reservation over time)
+//	fig10      YCSB throughput while the reservation adapts
+//	ablation   design-choice ablations (push, remote swap, placement, watermarks)
+//	quickstart one loaded VM migrated with each technique (the observability demo)
+//	all        everything above
+//
+// The -trace-out flag writes a Chrome trace-event JSON file (open it in
+// Perfetto or chrome://tracing) of the quickstart's observed run;
+// -trace-jsonl writes the same events as one JSON object per line, and
+// -metrics-out writes the sampled metric series as JSONL.
 //
 // -scale 1.0 reproduces the paper's sizes (10 GB VMs, 23 GB hosts) and
 // takes several wall-clock minutes; -scale 0.25 preserves every shape at a
@@ -39,6 +46,7 @@ import (
 	"agilemig/internal/dist"
 	"agilemig/internal/experiments"
 	"agilemig/internal/host"
+	"agilemig/internal/metrics"
 	"agilemig/internal/report"
 	"agilemig/internal/trace"
 	"agilemig/internal/workload"
@@ -51,9 +59,13 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment-point workers (0 = all cores, 1 = serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+	traceJSONL := flag.String("trace-jsonl", "", "write the trace as JSON lines to this file")
+	metricsOut := flag.String("metrics-out", "", "write sampled metric series as JSON lines to this file")
+	traceBuf := flag.Int("trace-buf", trace.DefaultBusCapacity, "trace ring-buffer capacity (events)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-cpuprofile file] [-memprofile file] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation demo report all\n")
+		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-cpuprofile file] [-memprofile file] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart demo report all\n")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -185,6 +197,84 @@ func main() {
 		fmt.Fprintln(out, mig.Result())
 	}
 
+	runQuickstart := func() {
+		var tr *trace.Trace
+		var reg *metrics.Registry
+		if *traceOut != "" || *traceJSONL != "" {
+			tr = trace.New(*traceBuf)
+		}
+		if *metricsOut != "" {
+			reg = metrics.NewRegistry()
+		}
+		cfg := experiments.DefaultQuickstartConfig()
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		cfg.Trace = tr
+		cfg.Metrics = reg
+		results := experiments.RunQuickstart(cfg)
+
+		table := metrics.NewTable(
+			fmt.Sprintf("Migrating a %.1f GiB VM under load (scale %.2f)", 2**scale, *scale),
+			"technique", "total (s)", "downtime (s)", "data (MB)", "cold pages by reference")
+		var observed *experiments.QuickstartResult
+		for i := range results {
+			r := results[i].Result
+			table.AddF(r.Technique.String(),
+				fmt.Sprintf("%.1f", r.TotalSeconds),
+				fmt.Sprintf("%.3f", r.DowntimeSeconds),
+				fmt.Sprintf("%.0f", float64(r.BytesTransferred)/1e6),
+				r.OffsetRecords)
+			if r.Technique == cfg.ObserveTechnique {
+				observed = &results[i]
+			}
+		}
+		fmt.Fprint(out, table.String())
+		if observed != nil && (tr != nil || reg != nil) {
+			fmt.Fprintln(out)
+			report.Summary(out, observed.Testbed, tr)
+		}
+		if tr != nil {
+			if d := tr.Drops(); d > 0 {
+				fmt.Fprintf(os.Stderr, "agilesim: trace ring dropped %d events; rerun with -trace-buf %d or larger\n",
+					d, tr.Cap()*2)
+			}
+			writeFile := func(path string, write func(f *os.File) error) {
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "agilesim:", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := write(f); err != nil {
+					fmt.Fprintln(os.Stderr, "agilesim:", err)
+					os.Exit(1)
+				}
+			}
+			if *traceOut != "" {
+				writeFile(*traceOut, func(f *os.File) error { return trace.WriteChromeTrace(f, tr) })
+			}
+			if *traceJSONL != "" {
+				writeFile(*traceJSONL, func(f *os.File) error { return trace.WriteJSONL(f, tr) })
+			}
+		}
+		if reg != nil && *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := reg.WriteJSONL(f); err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if id != "quickstart" && (*traceOut != "" || *traceJSONL != "" || *metricsOut != "") {
+		fmt.Fprintln(os.Stderr, "agilesim: -trace-out/-trace-jsonl/-metrics-out attach to the quickstart experiment; ignoring")
+	}
+
 	switch id {
 	case "fig4":
 		runFig(core.PreCopy)
@@ -200,6 +290,8 @@ func main() {
 		runWSS()
 	case "ablation", "ablations":
 		runAblation()
+	case "quickstart":
+		runQuickstart()
 	case "demo", "trace":
 		runDemo()
 	case "report":

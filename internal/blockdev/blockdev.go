@@ -10,6 +10,7 @@ package blockdev
 import (
 	"fmt"
 
+	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
 )
 
@@ -181,6 +182,21 @@ func (d *Device) BytesWritten() int64 { return d.bytesWritten }
 
 // Ops returns cumulative completed (read, write) operation counts.
 func (d *Device) Ops() (reads, writes int64) { return d.readOps, d.writeOps }
+
+// RegisterMetrics registers the device's traffic and queue depth as gauges
+// keyed by the device name. Per-operation trace events would swamp any
+// ring buffer; gauges sampled on sim-time intervals carry the same story.
+func (d *Device) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p := "disk/" + d.name + "/"
+	reg.Gauge(p+"read.bytes", func() float64 { return float64(d.bytesRead) })
+	reg.Gauge(p+"written.bytes", func() float64 { return float64(d.bytesWritten) })
+	reg.Gauge(p+"read.ops", func() float64 { return float64(d.readOps) })
+	reg.Gauge(p+"write.ops", func() float64 { return float64(d.writeOps) })
+	reg.Gauge(p+"queue.len", func() float64 { return float64(d.QueueLen()) })
+}
 
 // Tick serves the queues within this tick's bandwidth and IOPS budgets.
 // Reads are served first (deadline-style sync priority) under deficit

@@ -17,7 +17,9 @@ import (
 	"fmt"
 
 	"agilemig/internal/mem"
+	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
+	"agilemig/internal/trace"
 )
 
 // SwapBackend is the group's swap device: either a slice of the host's
@@ -93,6 +95,10 @@ type Group struct {
 	victimScratch []mem.PageID
 	evictFree     []*evictRec
 	faultFree     []*faultRec
+
+	// em receives reservation-change and swap-full events; nil (the
+	// default) records nothing.
+	em *trace.Emitter
 }
 
 // evictRec carries one in-flight eviction across its write-back completion.
@@ -169,7 +175,28 @@ func (g *Group) SetReservationBytes(b int64) {
 	if p < 1 {
 		p = 1
 	}
+	if g.em.Enabled() && p != g.reservationPages {
+		g.em.Emitf(g.eng.NowSeconds(), trace.CgroupResize, "reservation %d -> %d pages",
+			g.reservationPages, p)
+	}
 	g.reservationPages = p
+}
+
+// SetEmitter attaches a trace emitter for reservation and swap-full
+// events; nil (the default) detaches.
+func (g *Group) SetEmitter(em *trace.Emitter) { g.em = em }
+
+// RegisterMetrics registers the group's reservation, residency and swap
+// I/O as gauges keyed by the group name ("<host>/<vm>/...").
+func (g *Group) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(g.name+"/reservation.bytes", func() float64 { return float64(g.ReservationBytes()) })
+	reg.Gauge(g.name+"/inram.pages", func() float64 { return float64(g.table.InRAM()) })
+	reg.Gauge(g.name+"/swapout.pages", func() float64 { return float64(g.stats.SwapOutPages) })
+	reg.Gauge(g.name+"/swapin.pages", func() float64 { return float64(g.stats.SwapInPages) })
+	reg.Gauge(g.name+"/throttled.faults", func() float64 { return float64(g.ThrottledFaults()) })
 }
 
 // Stats returns the cumulative swap I/O counters.
@@ -279,6 +306,11 @@ func (g *Group) startEviction(p mem.PageID) {
 	slot, ok := g.backend.SlotFor(p)
 	if !ok {
 		g.stats.SwapFullEvents++
+		// One trace event per group, not per attempt: a full device stays
+		// full for many reclaim ticks, and the counter carries the volume.
+		if g.stats.SwapFullEvents == 1 {
+			g.em.Emit(g.eng.NowSeconds(), trace.CgroupSwapFull, "eviction found swap device full")
+		}
 		return
 	}
 	g.table.SetState(p, mem.StateEvicting)

@@ -15,8 +15,10 @@ import (
 	"agilemig/internal/guest"
 	"agilemig/internal/host"
 	"agilemig/internal/mem"
+	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
 	"agilemig/internal/simnet"
+	"agilemig/internal/trace"
 	"agilemig/internal/vmd"
 	"agilemig/internal/workload"
 	"agilemig/internal/wss"
@@ -50,6 +52,18 @@ type Config struct {
 	// skipping idle spans. Results are identical either way; the knob exists
 	// for the fast-forward equivalence tests and timing comparisons.
 	DisableFastForward bool
+
+	// Trace, when non-nil, receives events from every subsystem of the
+	// testbed: simnet flow open/close, cgroup resizes, VMD demand reads,
+	// WSS convergence, and migration phases. Nil (the default) keeps every
+	// emitter on its zero-overhead path.
+	Trace *trace.Trace
+	// Metrics, when non-nil, collects host/VM/device gauges and counters;
+	// pair with MetricsSampleSeconds to record time series.
+	Metrics *metrics.Registry
+	// MetricsSampleSeconds is the sim-time sampling interval for Metrics
+	// (default 1 s when Metrics is set).
+	MetricsSampleSeconds float64
 }
 
 // DefaultConfig returns the §V testbed: 23 GB hosts (boot-limited), 200 MB
@@ -95,6 +109,9 @@ func New(cfg Config) *Testbed {
 		eng.SetFastForward(false)
 	}
 	net := simnet.New(eng)
+	if cfg.Trace != nil {
+		net.SetTrace(cfg.Trace)
+	}
 	tb := &Testbed{
 		Cfg: cfg,
 		Eng: eng,
@@ -115,15 +132,31 @@ func New(cfg Config) *Testbed {
 	})
 	tb.Source.ConfigureSharedSwap(cfg.SSD, cfg.SwapPartitionBytes)
 	tb.Dest.ConfigureSharedSwap(cfg.SSD, cfg.SwapPartitionBytes)
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		// After ConfigureSharedSwap so the swap devices register too.
+		tb.Source.SetObserver(cfg.Trace, cfg.Metrics)
+		tb.Dest.SetObserver(cfg.Trace, cfg.Metrics)
+	}
 	tb.ClientNIC = net.NewNIC("clients", cfg.NetBytesPerSec)
 
 	tb.VMD = vmd.New(eng, net)
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		tb.VMD.SetObserver(cfg.Trace, cfg.Metrics)
+	}
 	for i := 0; i < cfg.Intermediates; i++ {
 		nic := net.NewNIC(fmt.Sprintf("inter%d", i+1), cfg.NetBytesPerSec)
 		tb.VMD.AddServer(fmt.Sprintf("inter%d", i+1), nic, cfg.IntermediateRAMBytes/mem.PageSize)
 	}
 	tb.Source.SetVMDClient(tb.VMD.NewClient("source", tb.Source.NIC(), cfg.NetLatency))
 	tb.Dest.SetVMDClient(tb.VMD.NewClient("dest", tb.Dest.NIC(), cfg.NetLatency))
+	if cfg.Metrics != nil {
+		net.RegisterMetrics(cfg.Metrics)
+		interval := cfg.MetricsSampleSeconds
+		if interval <= 0 {
+			interval = 1
+		}
+		cfg.Metrics.StartSampling(eng, interval)
+	}
 	return tb
 }
 
@@ -160,6 +193,8 @@ func (tb *Testbed) DeployVM(name string, memBytes, reservationBytes int64, vmdSw
 	h.NS = tb.VMD.CreateNamespace(name, h.VM.Pages())
 	if vmdSwap {
 		h.NS.AttachTo(tb.Source.VMDClient())
+		tb.Cfg.Trace.Emitter(trace.ScopeVM, name).
+			Emit(tb.Eng.NowSeconds(), trace.NamespaceAttach, "namespace attached at source (deploy)")
 		tb.Source.AddVM(h.VM, reservationBytes, host.VMDSwapBackend(h.NS, tb.Source.VMDClient()))
 	} else {
 		tb.Source.AddVM(h.VM, reservationBytes, tb.Source.SharedSwapBackend())
@@ -204,6 +239,7 @@ func (h *VMHandle) AttachClient(cfg workload.ClientConfig, d dist.Dist) *workloa
 // TrackWSS starts the transparent working-set tracker on the VM.
 func (h *VMHandle) TrackWSS(cfg wss.TrackerConfig) *wss.Tracker {
 	h.Tracker = wss.NewTracker(h.tb.Eng, h.VM.Group(), cfg)
+	h.Tracker.SetEmitter(h.tb.Cfg.Trace.Emitter(trace.ScopeVM, h.VM.Name()))
 	return h.Tracker
 }
 
@@ -231,6 +267,8 @@ func (tb *Testbed) MigrateTuned(h *VMHandle, tech core.Technique, destReservatio
 		Namespace:            h.NS,
 		Latency:              tb.Cfg.NetLatency,
 		Tuning:               tun,
+		Trace:                tb.Cfg.Trace,
+		Metrics:              tb.Cfg.Metrics,
 		OnSwitchover: func() {
 			if h.Client != nil {
 				h.dstFlows[0] = tb.Net.NewFlow("app:req2:"+h.VM.Name(), tb.ClientNIC, tb.Dest.NIC(), tb.Cfg.NetLatency)

@@ -27,6 +27,7 @@ import (
 	"agilemig/internal/cgroup"
 	"agilemig/internal/guest"
 	"agilemig/internal/host"
+	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
 	"agilemig/internal/trace"
 	"agilemig/internal/vmd"
@@ -193,6 +194,10 @@ type Spec struct {
 	// Trace, when non-nil, records phase-level events (round boundaries,
 	// suspension, switchover, drain) for inspection.
 	Trace *trace.Trace
+
+	// Metrics, when non-nil, receives the destination cgroup's gauges so a
+	// sampled registry covers both ends of the migration.
+	Metrics *metrics.Registry
 	// OnSwitchover runs the instant execution moves to the destination
 	// (clients retarget their flows here).
 	OnSwitchover func()

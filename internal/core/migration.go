@@ -66,13 +66,13 @@ type Migration struct {
 
 	downtimeBase sim.Duration
 	result       Result
-	tr           *trace.Trace
+	em           *trace.Emitter // per-VM scope on spec.Trace; nil records nothing
 }
 
 // event records a trace event stamped with the current simulated time (a
-// nil trace costs one branch).
+// nil emitter costs one branch).
 func (m *Migration) event(kind trace.Kind, format string, args ...interface{}) {
-	m.tr.Add(m.eng.NowSeconds(), kind, format, args...)
+	m.em.Emitf(m.eng.NowSeconds(), kind, format, args...)
 }
 
 // Start launches a migration and returns the handle. The VM must currently
@@ -101,7 +101,7 @@ func Start(eng *sim.Engine, net *simnet.Network, tech Technique, spec Spec) *Mig
 		pendingDemand: make(map[mem.PageID][]func()),
 		downtimeBase:  vm.Downtime(),
 	}
-	m.tr = spec.Trace
+	m.em = spec.Trace.Emitter(trace.ScopeVM, vm.Name())
 	m.result.Technique = tech
 	m.result.VMName = vm.Name()
 	m.result.Start = eng.Now()
@@ -124,6 +124,8 @@ func Start(eng *sim.Engine, net *simnet.Network, tech Technique, spec Spec) *Mig
 		resv = vm.MemBytes()
 	}
 	m.destGroup = cgroup.New(eng, spec.Dest.Name()+"/"+vm.Name(), m.destTable, spec.DestBackend, resv)
+	m.destGroup.SetEmitter(spec.Trace.Emitter(trace.ScopeVM, m.destGroup.Name()))
+	m.destGroup.RegisterMetrics(spec.Metrics)
 	spec.Dest.AdoptGroup(vm, m.destGroup)
 
 	switch tech {
@@ -432,6 +434,9 @@ func (m *Migration) requestFromSource(p mem.PageID, done func()) {
 	}
 	m.pendingDemand[p] = []func(){done}
 	m.result.DemandRequests++
+	if m.em.Enabled() {
+		m.em.Emitf(m.eng.NowSeconds(), trace.DemandFault, "page %d requested from %s", p, m.spec.Source.Name())
+	}
 	m.ctrlFlow.SendMessage(m.tun.DemandRequestBytes, func() {
 		m.serveDemand(p)
 	})
@@ -516,6 +521,7 @@ func (m *Migration) complete() {
 		// §IV-B: disconnect the per-VM swap device from the source once
 		// the in-memory state has fully migrated.
 		m.spec.Namespace.Detach(m.spec.Source.VMDClient())
+		m.event(trace.NamespaceDetach, "namespace detached from %s (source drained)", m.spec.Source.Name())
 	}
 	m.srcGroup.Disable()
 	m.spec.Source.RemoveVM(m.vm.Name())
@@ -547,6 +553,7 @@ func (m *Migration) switchover() {
 		// The portable swap device attaches at the destination; scattered
 		// pages become reachable there as their records arrive.
 		m.spec.Namespace.AttachTo(m.spec.Dest.VMDClient())
+		m.event(trace.NamespaceAttach, "namespace attached at %s (switchover)", m.spec.Dest.Name())
 		m.destGroup.SetReservationBytes(m.spec.DestReservationBytes)
 	}
 	if m.tech == Agile {
@@ -569,6 +576,7 @@ func (m *Migration) switchover() {
 		// cold pages become reachable there.
 		if !m.tun.NoRemoteSwap {
 			m.spec.Namespace.AttachTo(m.spec.Dest.VMDClient())
+			m.event(trace.NamespaceAttach, "namespace attached at %s (switchover)", m.spec.Dest.Name())
 		}
 		m.destGroup.SetReservationBytes(m.spec.DestReservationBytes)
 	}

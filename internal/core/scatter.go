@@ -20,6 +20,7 @@ import (
 
 // startScatterGather initializes the technique (called from Start).
 func (m *Migration) startScatterGather() {
+	m.event(trace.ScatterStart, "scattering %d pages into the namespace", m.nPages)
 	m.event(trace.Suspend, "immediate (scatter-gather)")
 	m.vm.Suspend()
 	m.pushBM = mem.NewBitmap(m.nPages)
@@ -137,6 +138,7 @@ func (m *Migration) sendScatterRecord(p mem.PageID, off uint32) {
 // destination's reservation after the source is free (the "gather" of the
 // original system; without it, pages arrive only as the workload faults).
 func (m *Migration) startGatherPrefetch() {
+	m.event(trace.GatherStart, "prefetching scattered pages into %s", m.spec.Dest.Name())
 	var cursor mem.PageID
 	inFlight := 0
 	done := false

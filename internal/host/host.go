@@ -12,8 +12,10 @@ import (
 	"agilemig/internal/cgroup"
 	"agilemig/internal/guest"
 	"agilemig/internal/mem"
+	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
 	"agilemig/internal/simnet"
+	"agilemig/internal/trace"
 	"agilemig/internal/vmd"
 )
 
@@ -42,6 +44,11 @@ type Host struct {
 
 	groups map[string]*cgroup.Group
 	vms    map[string]*guest.VM
+
+	// tr/reg, when set, wire observability into every cgroup created on
+	// this host; nil keeps the host silent.
+	tr  *trace.Trace
+	reg *metrics.Registry
 }
 
 // New creates a host with a NIC on the given network.
@@ -62,6 +69,30 @@ func New(eng *sim.Engine, net *simnet.Network, cfg Config) *Host {
 
 // Name returns the host name.
 func (h *Host) Name() string { return h.name }
+
+// SetObserver attaches a trace bus and metrics registry: the host's RAM
+// occupancy and swap device register as gauges, and every cgroup created
+// by AddVM from now on emits resize/swap events and registers its own
+// gauges. Either argument may be nil.
+func (h *Host) SetObserver(tr *trace.Trace, reg *metrics.Registry) {
+	h.tr = tr
+	h.reg = reg
+	if reg != nil {
+		reg.Gauge(h.name+"/used.ram.pages", func() float64 { return float64(h.UsedRAMPages()) })
+		reg.Gauge(h.name+"/free.ram.pages", func() float64 { return float64(h.FreeRAMPages()) })
+	}
+	if h.swapDev != nil {
+		h.swapDev.RegisterMetrics(reg)
+	}
+}
+
+// Observe wires an externally constructed group (e.g. a migration's
+// destination cgroup) into this host's trace bus and registry, exactly as
+// AddVM would have.
+func (h *Host) Observe(g *cgroup.Group) {
+	g.SetEmitter(h.tr.Emitter(trace.ScopeVM, g.Name()))
+	g.RegisterMetrics(h.reg)
+}
 
 // NIC returns the host's network interface.
 func (h *Host) NIC() *simnet.NIC { return h.nic }
@@ -116,6 +147,9 @@ func (h *Host) AddVM(vm *guest.VM, reservationBytes int64, backend cgroup.SwapBa
 		panic(fmt.Sprintf("host: %s already hosts %s", h.name, vm.Name()))
 	}
 	g := cgroup.New(h.eng, h.name+"/"+vm.Name(), vm.Table(), backend, reservationBytes)
+	if h.tr != nil || h.reg != nil {
+		h.Observe(g)
+	}
 	h.groups[vm.Name()] = g
 	h.vms[vm.Name()] = vm
 	vm.AttachGroup(g)

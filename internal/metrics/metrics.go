@@ -47,19 +47,28 @@ func (s *Series) Last() Point {
 }
 
 // MeanBetween returns the mean of samples with t0 <= T < t1. ok is false
-// if the window holds no samples.
+// if the window holds no samples. Since Add enforces time order, the
+// window bounds are found by binary search: O(log n + window) rather than
+// a full scan, which matters when report generation slices a long series
+// into many buckets.
 func (s *Series) MeanBetween(t0, t1 float64) (mean float64, ok bool) {
-	sum, n := 0.0, 0
-	for _, p := range s.Points {
-		if p.T >= t0 && p.T < t1 {
-			sum += p.V
-			n++
-		}
-	}
-	if n == 0 {
+	lo, hi := s.window(t0, t1)
+	if lo >= hi {
 		return 0, false
 	}
-	return sum / float64(n), true
+	sum := 0.0
+	for _, p := range s.Points[lo:hi] {
+		sum += p.V
+	}
+	return sum / float64(hi-lo), true
+}
+
+// window returns the half-open index range [lo, hi) of samples with
+// t0 <= T < t1.
+func (s *Series) window(t0, t1 float64) (lo, hi int) {
+	lo = sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t0 })
+	hi = lo + sort.Search(len(s.Points)-lo, func(i int) bool { return s.Points[lo+i].T >= t1 })
+	return lo, hi
 }
 
 // Max returns the maximum sample value, or 0 for an empty series.
@@ -161,10 +170,9 @@ func RecoveryTime(s *Series, fromT, target float64, smoothWindow, sustain int) (
 }
 
 func indexOfTime(s *Series, t float64) int {
-	for i, p := range s.Points {
-		if p.T == t {
-			return i
-		}
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t })
+	if i < len(s.Points) && s.Points[i].T == t {
+		return i
 	}
 	return -1
 }

@@ -1,0 +1,355 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+
+	"agilemig/internal/sim"
+)
+
+// Registry is a typed metrics registry that subsystems register counters,
+// gauges and bounded histograms into, keyed by convention as
+// "host/vm/metric" (e.g. "source/vm1/swapout.pages"). One registry serves
+// one testbed; it is not safe for concurrent use, matching the
+// single-threaded engine. A nil *Registry is inert: registration returns
+// nil instruments whose methods are no-ops, so instrumented code pays a
+// pointer compare when metrics are off.
+//
+// Re-registering a name returns/replaces the existing instrument rather
+// than panicking: a VM that migrates twice recreates its destination
+// cgroup, and the second registration simply takes over the name.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	names    []string // registration order, for deterministic export
+	series   map[string]*Series
+	sampling bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		series:   map[string]*Series{},
+	}
+}
+
+func (r *Registry) noteName(name string) {
+	for _, n := range r.names {
+		if n == name {
+			return
+		}
+	}
+	r.names = append(r.names, name)
+}
+
+// Counter is a monotonically increasing count. Methods on a nil Counter
+// are no-ops.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	r.noteName(name)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge reports an instantaneous value via a callback, read at sample and
+// export time — registering one costs the subsystem nothing per update.
+type Gauge struct {
+	name string
+	fn   func() float64
+}
+
+// Gauge registers fn under name. Registering the same name again replaces
+// the callback (the new owner of the name wins).
+func (r *Registry) Gauge(name string, fn func() float64) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		g.fn = fn
+		return g
+	}
+	g := &Gauge{name: name, fn: fn}
+	r.gauges[name] = g
+	r.noteName(name)
+	return g
+}
+
+// Value returns the gauge's current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+// Histogram is a bounded histogram: fixed bucket upper bounds chosen at
+// registration, so Observe is allocation-free. Methods on nil are no-ops.
+type Histogram struct {
+	name   string
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []int64   // len(bounds)+1
+	n      int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Histogram registers (or returns the existing) histogram under name with
+// the given ascending bucket upper bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	h := &Histogram{
+		name:   name,
+		bounds: b,
+		counts: make([]int64, len(b)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+	r.hists[name] = h
+	r.noteName(name)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Mean returns the mean of observations (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the containing bucket, clamped to the observed min/max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	cum := int64(0)
+	for i, c := range h.counts {
+		if float64(cum+c) >= target && c > 0 {
+			lo := h.min
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (target - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// StartSampling registers one engine ticker (with an idle hint, so
+// fast-forward is unaffected) that snapshots every counter and gauge into
+// a per-metric Series each intervalSeconds of simulated time. Instruments
+// registered after sampling starts are picked up at their next sample.
+// Existing Series post-processing (MeanBetween, Smoothed, AsciiPlot, CSV)
+// consumes the result unchanged via SeriesFor.
+func (r *Registry) StartSampling(eng *sim.Engine, intervalSeconds float64) {
+	if r == nil || r.sampling {
+		return
+	}
+	r.sampling = true
+	s := &registrySampler{
+		r:        r,
+		eng:      eng,
+		interval: eng.SecondsToTicks(intervalSeconds),
+	}
+	if s.interval < 1 {
+		s.interval = 1
+	}
+	s.next = eng.Now() + sim.Time(s.interval)
+	eng.AddTicker(sim.PhaseMetrics, s)
+}
+
+type registrySampler struct {
+	r        *Registry
+	eng      *sim.Engine
+	interval sim.Duration
+	next     sim.Time
+}
+
+// Tick snapshots all counters and gauges when the interval elapses.
+func (s *registrySampler) Tick(now sim.Time) {
+	if now < s.next {
+		return
+	}
+	s.next = now + sim.Time(s.interval)
+	t := s.eng.NowSeconds()
+	for _, name := range s.r.names {
+		var v float64
+		if c, ok := s.r.counters[name]; ok {
+			v = float64(c.v)
+		} else if g, ok := s.r.gauges[name]; ok {
+			v = g.fn()
+		} else {
+			continue // histograms are exported, not sampled
+		}
+		sr := s.r.series[name]
+		if sr == nil {
+			sr = NewSeries(name)
+			s.r.series[name] = sr
+		}
+		sr.Add(t, v)
+	}
+}
+
+// NextWake reports the next sampling tick; every tick before it is an
+// exact no-op (sampling only reads), so the engine may skip ahead.
+func (s *registrySampler) NextWake(now sim.Time) (sim.Time, bool) {
+	if s.next <= now {
+		return now + 1, true
+	}
+	return s.next, true
+}
+
+// SeriesFor returns the sampled series for a metric name, or nil if the
+// metric was never sampled.
+func (r *Registry) SeriesFor(name string) *Series {
+	if r == nil {
+		return nil
+	}
+	return r.series[name]
+}
+
+// Names returns all registered metric names in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	return r.names
+}
+
+// metricRecord is the shape of one line written by WriteJSONL.
+type metricRecord struct {
+	Type    string       `json:"type"` // "counter" | "gauge" | "histogram" | "series"
+	Name    string       `json:"name"`
+	Value   float64      `json:"value,omitempty"`
+	Count   int64        `json:"count,omitempty"`
+	Mean    float64      `json:"mean,omitempty"`
+	Bounds  []float64    `json:"bounds,omitempty"`
+	Buckets []int64      `json:"buckets,omitempty"`
+	Points  [][2]float64 `json:"points,omitempty"`
+}
+
+// WriteJSONL exports the registry as line-delimited JSON: final values for
+// every instrument, then one "series" line per sampled series with its
+// [t, v] points.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if r != nil {
+		for _, name := range r.names {
+			var rec metricRecord
+			switch {
+			case r.counters[name] != nil:
+				rec = metricRecord{Type: "counter", Name: name, Value: float64(r.counters[name].v)}
+			case r.gauges[name] != nil:
+				rec = metricRecord{Type: "gauge", Name: name, Value: r.gauges[name].fn()}
+			case r.hists[name] != nil:
+				h := r.hists[name]
+				rec = metricRecord{Type: "histogram", Name: name, Count: h.n, Mean: h.Mean(),
+					Bounds: h.bounds, Buckets: h.counts}
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		for _, name := range r.names {
+			sr := r.series[name]
+			if sr == nil || len(sr.Points) == 0 {
+				continue
+			}
+			pts := make([][2]float64, len(sr.Points))
+			for i, p := range sr.Points {
+				pts[i] = [2]float64{p.T, p.V}
+			}
+			if err := enc.Encode(metricRecord{Type: "series", Name: name, Points: pts}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"agilemig/internal/sim"
+)
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("src/vm1/reads")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("src/vm1/reads") != c {
+		t.Fatal("re-registering a counter must return the existing one")
+	}
+	x := 7.0
+	g := r.Gauge("src/ram", func() float64 { return x })
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	// Re-registration replaces the callback (new owner of the name wins).
+	r.Gauge("src/ram", func() float64 { return 42 })
+	if g.Value() != 42 {
+		t.Fatalf("replaced gauge = %v", g.Value())
+	}
+	if len(r.Names()) != 2 {
+		t.Fatalf("Names = %v", r.Names())
+	}
+}
+
+func TestNilRegistryInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter not inert")
+	}
+	g := r.Gauge("y", func() float64 { return 1 })
+	if g.Value() != 0 {
+		t.Fatal("nil gauge not inert")
+	}
+	h := r.Histogram("z", []float64{1, 2})
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	r.StartSampling(sim.NewEngine(1), 1)
+	if r.SeriesFor("x") != nil || r.Names() != nil {
+		t.Fatal("nil registry leaked state")
+	}
+}
+
+func TestNilCounterIncAllocates(t *testing.T) {
+	var r *Registry
+	c := r.Counter("off")
+	allocs := testing.AllocsPerRun(100, func() { c.Inc() })
+	if allocs != 0 {
+		t.Fatalf("disabled Inc allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 2, 3, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != (0.5+2+3+50+500)/5 {
+		t.Fatalf("mean = %v", got)
+	}
+	med := h.Quantile(0.5)
+	if med < 1 || med > 10 {
+		t.Fatalf("median %v outside its bucket (1,10]", med)
+	}
+	if q := h.Quantile(1.0); q != 500 {
+		t.Fatalf("q100 = %v, want max", q)
+	}
+}
+
+func TestRegistrySampling(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRegistry()
+	c := r.Counter("ops")
+	r.StartSampling(eng, 1.0)
+	eng.AddTickerFuncHinted(sim.PhaseWorkload, func(now sim.Time) { c.Inc() },
+		func(now sim.Time) (sim.Time, bool) { return now + 1, true })
+	eng.RunSeconds(5)
+	s := r.SeriesFor("ops")
+	if s == nil || s.Len() != 5 {
+		t.Fatalf("series = %+v", s)
+	}
+	// Cumulative counter snapshots must be non-decreasing.
+	for i := 1; i < s.Len(); i++ {
+		if s.Points[i].V < s.Points[i-1].V {
+			t.Fatalf("counter series decreased at %d: %+v", i, s.Points)
+		}
+	}
+	// Late registration is picked up at the next sample.
+	late := r.Gauge("late", func() float64 { return 9 })
+	_ = late
+	eng.RunSeconds(2)
+	if ls := r.SeriesFor("late"); ls == nil || ls.Len() != 2 {
+		t.Fatalf("late series = %+v", ls)
+	}
+}
+
+func TestRegistryWriteJSONL(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Add(12)
+	r.Gauge("ram", func() float64 { return 3.5 })
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(1.5)
+	r.StartSampling(eng, 1.0)
+	eng.RunSeconds(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	types := map[string]int{}
+	for _, l := range lines {
+		var rec struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(l), &rec); err != nil {
+			t.Fatalf("bad line %q: %v", l, err)
+		}
+		types[rec.Type]++
+	}
+	if types["counter"] != 1 || types["gauge"] != 1 || types["histogram"] != 1 || types["series"] != 2 {
+		t.Fatalf("record types = %v\n%s", types, buf.String())
+	}
+}
+
+// meanBetweenLinear is the pre-binary-search implementation, kept as the
+// benchmark baseline and as a correctness oracle.
+func meanBetweenLinear(s *Series, t0, t1 float64) (float64, bool) {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.T >= t0 && p.T < t1 {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+func TestMeanBetweenMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSeries("x")
+	tm := 0.0
+	for i := 0; i < 500; i++ {
+		if rng.Intn(4) > 0 { // duplicate timestamps stay legal
+			tm += rng.Float64()
+		}
+		s.Add(tm, rng.Float64()*100)
+	}
+	for i := 0; i < 200; i++ {
+		t0 := rng.Float64()*tm*1.2 - 0.1*tm
+		t1 := t0 + rng.Float64()*tm*0.3
+		got, gotOK := s.MeanBetween(t0, t1)
+		want, wantOK := meanBetweenLinear(s, t0, t1)
+		if gotOK != wantOK || got != want {
+			t.Fatalf("MeanBetween(%v,%v) = %v,%v; linear scan says %v,%v", t0, t1, got, gotOK, want, wantOK)
+		}
+	}
+	if _, ok := s.MeanBetween(tm+1, tm+2); ok {
+		t.Fatal("empty window reported ok")
+	}
+}
+
+func benchSeries(n int) *Series {
+	s := NewSeries("bench")
+	for i := 0; i < n; i++ {
+		s.Add(float64(i)*0.1, float64(i%50))
+	}
+	return s
+}
+
+// BenchmarkMeanBetweenSearch vs BenchmarkMeanBetweenLinear measure the
+// window-query cost on the report-generation path (AsciiPlot slices one
+// long series into many narrow buckets).
+func BenchmarkMeanBetweenSearch(b *testing.B) {
+	s := benchSeries(100_000)
+	span := s.Last().T
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := float64(i%100) / 100 * span
+		s.MeanBetween(lo, lo+span/100)
+	}
+}
+
+func BenchmarkMeanBetweenLinear(b *testing.B) {
+	s := benchSeries(100_000)
+	span := s.Last().T
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := float64(i%100) / 100 * span
+		meanBetweenLinear(s, lo, lo+span/100)
+	}
+}
+
+func BenchmarkAsciiPlot(b *testing.B) {
+	s := benchSeries(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AsciiPlot(s, 40, 60)
+	}
+}

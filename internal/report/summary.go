@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"agilemig/internal/cluster"
+	"agilemig/internal/host"
+	"agilemig/internal/mem"
+	"agilemig/internal/metrics"
+	"agilemig/internal/trace"
+)
+
+// Summary renders the end-of-run observability digest for a testbed: a
+// per-host table (RAM occupancy, swap-device traffic), a per-VM table
+// (placement, reservation, residency, swap counters), and — when a trace
+// bus was attached — the event totals per kind plus any ring-buffer drops.
+func Summary(w io.Writer, tb *cluster.Testbed, tr *trace.Trace) {
+	hosts := []*host.Host{tb.Source, tb.Dest}
+
+	ht := metrics.NewTable("Per-host summary",
+		"host", "ram used (MB)", "ram free (MB)", "swap read (MB)", "swap written (MB)", "swap ops (r/w)")
+	for _, h := range hosts {
+		read, written, ops := "-", "-", "-"
+		if dev := h.SwapDevice(); dev != nil {
+			r, wr := dev.Ops()
+			read = fmt.Sprintf("%.1f", float64(dev.BytesRead())/1e6)
+			written = fmt.Sprintf("%.1f", float64(dev.BytesWritten())/1e6)
+			ops = fmt.Sprintf("%d/%d", r, wr)
+		}
+		ht.Add(h.Name(),
+			fmt.Sprintf("%.1f", float64(h.UsedRAMPages())*mem.PageSize/1e6),
+			fmt.Sprintf("%.1f", float64(h.FreeRAMPages())*mem.PageSize/1e6),
+			read, written, ops)
+	}
+	fmt.Fprint(w, ht.String())
+	fmt.Fprintln(w)
+
+	vt := metrics.NewTable("Per-VM summary",
+		"vm", "host", "resv (MB)", "in ram (MB)", "swap out", "swap in", "swap full")
+	for _, h := range hosts {
+		names := h.VMs()
+		sort.Strings(names)
+		for _, name := range names {
+			g := h.Group(name)
+			if g == nil {
+				continue
+			}
+			st := g.Stats()
+			vt.AddF(name, h.Name(),
+				fmt.Sprintf("%.1f", float64(g.ReservationBytes())/1e6),
+				fmt.Sprintf("%.1f", float64(g.Table().InRAM())*mem.PageSize/1e6),
+				st.SwapOutPages, st.SwapInPages, st.SwapFullEvents)
+		}
+	}
+	fmt.Fprint(w, vt.String())
+
+	if tr != nil {
+		fmt.Fprintln(w)
+		TraceDigest(w, tr)
+	}
+}
+
+// TraceDigest prints per-kind event counts and the ring's drop counter, so
+// a truncated trace is visible instead of silently partial.
+func TraceDigest(w io.Writer, tr *trace.Trace) {
+	counts := make(map[trace.Kind]int)
+	var kinds []trace.Kind
+	for _, ev := range tr.Events() {
+		if counts[ev.Kind] == 0 {
+			kinds = append(kinds, ev.Kind)
+		}
+		counts[ev.Kind]++
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	fmt.Fprintf(w, "Trace: %d events buffered", tr.Len())
+	if d := tr.Drops(); d > 0 {
+		fmt.Fprintf(w, " (%d older events dropped; raise the ring capacity to keep them)", d)
+	}
+	fmt.Fprintln(w)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-16s %d\n", k.String(), counts[k])
+	}
+}

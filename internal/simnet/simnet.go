@@ -16,7 +16,9 @@ package simnet
 import (
 	"fmt"
 
+	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
+	"agilemig/internal/trace"
 )
 
 // Network owns all NICs and flows and performs per-tick arbitration. It
@@ -30,6 +32,28 @@ type Network struct {
 	// allocation-free
 	active []*Flow
 	ports  []*NIC
+
+	// em records flow open/close events; nil (the default) records nothing.
+	em *trace.Emitter
+}
+
+// SetTrace attaches a trace bus; flow lifecycle events are recorded under
+// the "net" actor. A nil trace detaches.
+func (n *Network) SetTrace(tr *trace.Trace) {
+	n.em = tr.Emitter(trace.ScopeCluster, "net")
+}
+
+// RegisterMetrics registers every NIC's cumulative traffic as gauges
+// ("net/<nic>/tx.bytes", "net/<nic>/rx.bytes"). Call after the NICs exist.
+func (n *Network) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, nc := range n.nics {
+		nc := nc
+		reg.Gauge("net/"+nc.name+"/tx.bytes", func() float64 { return float64(nc.egressBytes) })
+		reg.Gauge("net/"+nc.name+"/rx.bytes", func() float64 { return float64(nc.ingressBytes) })
+	}
 }
 
 // New returns a network bound to the engine.
@@ -99,6 +123,7 @@ type Flow struct {
 	src     *NIC
 	dst     *NIC
 	latency sim.Duration
+	net     *Network
 
 	backlog   int64 // offered, not yet transmitted
 	offered   int64 // cumulative offered bytes
@@ -125,8 +150,11 @@ func (n *Network) NewFlow(name string, src, dst *NIC, latency sim.Duration) *Flo
 	if src == dst {
 		panic("simnet: flow with identical endpoints")
 	}
-	f := &Flow{name: name, src: src, dst: dst, latency: latency}
+	f := &Flow{name: name, src: src, dst: dst, latency: latency, net: n}
 	n.flows = append(n.flows, f)
+	if n.em.Enabled() {
+		n.em.Emitf(n.eng.NowSeconds(), trace.FlowOpen, "%s (%s -> %s)", name, src.name, dst.name)
+	}
 	return f
 }
 
@@ -166,6 +194,9 @@ func (f *Flow) SendMessage(bytes int64, fn func()) {
 // message callbacks never fire. The migration engines close their flows
 // when a migration completes or aborts.
 func (f *Flow) Close() {
+	if !f.closed && f.net != nil && f.net.em.Enabled() {
+		f.net.em.Emitf(f.net.eng.NowSeconds(), trace.FlowClose, "%s (%d bytes delivered)", f.name, f.delivered)
+	}
 	f.closed = true
 	f.backlog = 0
 	f.transit, f.trHead = nil, 0

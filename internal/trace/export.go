@@ -1,0 +1,210 @@
+// Exporters: Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) and a line-delimited JSON event log.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// slicePairs defines how point events pair up into duration slices for the
+// Chrome export. One event may close one pair and open another (Suspend
+// ends the scatter phase and starts downtime), or close several (Complete
+// ends both the migration and the gather prefetch).
+var slicePairs = []struct {
+	begin, end Kind
+	name       string
+}{
+	{MigrationStart, Complete, "migration"},
+	{RoundStart, RoundEnd, "round"},
+	{ScatterStart, Suspend, "scatter"},
+	{Suspend, Switchover, "downtime"},
+	{Switchover, SourceDrained, "push"},
+	{GatherStart, Complete, "gather"},
+}
+
+// chromeEvent is one entry in the Chrome trace-event JSON array.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat,omitempty"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"` // microseconds
+	Dur   float64                `json:"dur,omitempty"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+const usec = 1e6 // simulated seconds -> trace microseconds
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON format.
+// Each actor becomes one Perfetto process (named "<scope>: <actor>");
+// paired lifecycle events become duration slices ("migration", "round",
+// "downtime", "scatter", "push", "gather") and everything else becomes an
+// instant mark. Load the output via Perfetto's "Open trace file" or
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	events := t.Events()
+
+	// Assign a stable pid per actor in first-seen order.
+	type actorState struct {
+		pid     int
+		pending []*Event // open begins, by slicePairs index
+	}
+	actors := map[string]*actorState{}
+	order := []string{}
+	out := []chromeEvent{}
+
+	stateFor := func(e *Event) *actorState {
+		key := e.Actor
+		if key == "" {
+			key = e.Scope.String()
+		}
+		st, ok := actors[key]
+		if !ok {
+			st = &actorState{pid: len(actors) + 1, pending: make([]*Event, len(slicePairs))}
+			actors[key] = st
+			order = append(order, key)
+			name := key
+			if e.Actor != "" {
+				name = e.Scope.String() + ": " + e.Actor
+			}
+			out = append(out, chromeEvent{
+				Name:  "process_name",
+				Phase: "M",
+				PID:   st.pid,
+				TID:   1,
+				Args:  map[string]interface{}{"name": name},
+			})
+		}
+		return st
+	}
+
+	instant := func(st *actorState, e *Event) {
+		args := map[string]interface{}{}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		out = append(out, chromeEvent{
+			Name:  e.Kind.String(),
+			Cat:   e.Scope.String(),
+			Phase: "i",
+			TS:    e.T * usec,
+			PID:   st.pid,
+			TID:   1,
+			Scope: "t",
+			Args:  args,
+		})
+	}
+
+	for i := range events {
+		e := &events[i]
+		st := stateFor(e)
+		closed := false
+		opens := false
+		for pi := range slicePairs {
+			if slicePairs[pi].end == e.Kind {
+				if begin := st.pending[pi]; begin != nil {
+					st.pending[pi] = nil
+					closed = true
+					args := map[string]interface{}{}
+					if begin.Detail != "" {
+						args["begin"] = begin.Detail
+					}
+					if e.Detail != "" {
+						args["end"] = e.Detail
+					}
+					out = append(out, chromeEvent{
+						Name:  slicePairs[pi].name,
+						Cat:   "migration",
+						Phase: "X",
+						TS:    begin.T * usec,
+						Dur:   (e.T - begin.T) * usec,
+						PID:   st.pid,
+						TID:   1,
+						Args:  args,
+					})
+				}
+			}
+			if slicePairs[pi].begin == e.Kind {
+				st.pending[pi] = e
+				opens = true
+			}
+		}
+		if !opens && !closed {
+			instant(st, e)
+		}
+	}
+
+	// Leftover begins never saw their end (truncated run, or a technique
+	// that skips the phase); render them as instants unless the same event
+	// already closed another slice.
+	for _, key := range order {
+		st := actors[key]
+		seen := map[*Event]bool{}
+		for _, begin := range st.pending {
+			if begin == nil || seen[begin] {
+				continue
+			}
+			seen[begin] = true
+			closedOther := false
+			for pi := range slicePairs {
+				if slicePairs[pi].end == begin.Kind {
+					closedOther = true
+				}
+			}
+			if !closedOther {
+				instant(st, begin)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// JSONLEvent is the shape of one line written by WriteJSONL.
+type JSONLEvent struct {
+	T      float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Scope  string  `json:"scope"`
+	Actor  string  `json:"actor,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// JSONLSummary is the trailer line written by WriteJSONL, carrying ring
+// health so a consumer can tell whether the log is complete.
+type JSONLSummary struct {
+	Summary bool  `json:"summary"`
+	Events  int   `json:"events"`
+	Drops   int64 `json:"drops"`
+}
+
+// WriteJSONL writes the trace as line-delimited JSON: one JSONLEvent per
+// event, oldest first, then one JSONLSummary trailer.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := 0; i < t.Len(); i++ {
+		e := t.at(i)
+		rec := JSONLEvent{
+			T:      e.T,
+			Kind:   e.Kind.String(),
+			Scope:  e.Scope.String(),
+			Actor:  e.Actor,
+			Detail: e.Detail,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(JSONLSummary{Summary: true, Events: t.Len(), Drops: t.Drops()}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

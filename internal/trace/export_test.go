@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWraparoundAndDropCounting(t *testing.T) {
+	tr := New(8)
+	em := tr.Emitter(ScopeVM, "vm1")
+	const total = 100
+	for i := 0; i < total; i++ {
+		em.Emitf(float64(i), VMDRead, "page %d", i)
+	}
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tr.Len())
+	}
+	if tr.Drops() != total-8 {
+		t.Fatalf("Drops = %d, want %d", tr.Drops(), total-8)
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		want := float64(total - 8 + i)
+		if e.T != want {
+			t.Fatalf("event %d at t=%v, want %v (ring out of order after wrap)", i, e.T, want)
+		}
+		if e.Actor != "vm1" || e.Scope != ScopeVM {
+			t.Fatalf("event %d lost scope/actor: %+v", i, e)
+		}
+	}
+	// Find must respect oldest-first order across the wrap point.
+	if f := tr.Find(VMDRead); f == nil || f.T != float64(total-8) {
+		t.Fatalf("Find after wrap = %+v, want t=%d", f, total-8)
+	}
+}
+
+func TestNilEmitterSafe(t *testing.T) {
+	var tr *Trace
+	em := tr.Emitter(ScopeHost, "src")
+	if em.Enabled() {
+		t.Fatal("nil trace produced an enabled emitter")
+	}
+	em.Emit(1, Suspend, "x")       // must not panic
+	em.Emitf(2, Suspend, "y%d", 1) // must not panic
+}
+
+func TestNilEmitterEmitAllocates(t *testing.T) {
+	var tr *Trace
+	em := tr.Emitter(ScopeVM, "vm1")
+	allocs := testing.AllocsPerRun(100, func() {
+		em.Emit(1.0, VMDRead, "page")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Emit allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestScopeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range []Scope{ScopeCluster, ScopeHost, ScopeVM, ScopeDevice, Scope(9)} {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Fatalf("scope %d has empty or duplicate name %q", int(s), name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestNewKindStrings(t *testing.T) {
+	kinds := []Kind{ScatterStart, GatherStart, NamespaceAttach, NamespaceDetach,
+		DemandFault, VMDRead, VMDNack, CgroupResize, CgroupSwapFull,
+		WSSStable, WSSUnstable, FlowOpen, FlowClose}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") || seen[s] {
+			t.Fatalf("kind %d has bad name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+}
+
+// traced builds a trace resembling an agile migration's event stream.
+func traced() *Trace {
+	tr := New(0)
+	vm := tr.Emitter(ScopeVM, "vm1")
+	dev := tr.Emitter(ScopeDevice, "vmd:swap-vm1")
+	vm.Emit(1.0, MigrationStart, "agile")
+	vm.Emit(1.0, RoundStart, "round 1")
+	vm.Emit(2.0, RoundEnd, "dirty=1000")
+	vm.Emit(2.0, Suspend, "")
+	vm.Emit(2.1, CPUStateSent, "")
+	vm.Emit(2.3, Switchover, "")
+	dev.Emit(2.3, NamespaceAttach, "attached to dest")
+	vm.Emit(2.5, DemandFault, "page 42")
+	dev.Emit(2.6, VMDRead, "offset 17")
+	vm.Emit(3.0, SourceDrained, "")
+	vm.Emit(3.0, Complete, "")
+	dev.Emit(3.0, NamespaceDetach, "freed at source")
+	return tr
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traced()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			PID   int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	slices := map[string]float64{} // name -> dur (usec)
+	instants := map[string]int{}
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[e.PID] = true
+		switch e.Phase {
+		case "X":
+			slices[e.Name] = e.Dur
+		case "i":
+			instants[e.Name]++
+		}
+	}
+	for name, wantDur := range map[string]float64{
+		"migration": 2.0 * usec,
+		"round":     1.0 * usec,
+		"downtime":  0.3 * usec,
+		"push":      0.7 * usec,
+	} {
+		if dur, ok := slices[name]; !ok || dur < wantDur-1 || dur > wantDur+1 {
+			t.Errorf("slice %q: dur=%v ok=%v, want ~%v", name, dur, ok, wantDur)
+		}
+	}
+	for _, name := range []string{"demand-fault", "vmd-read", "ns-attach", "ns-detach"} {
+		if instants[name] == 0 {
+			t.Errorf("instant %q missing", name)
+		}
+	}
+	if len(pids) < 2 {
+		t.Errorf("expected separate pids for vm and device actors, got %v", pids)
+	}
+}
+
+func TestWriteChromeTraceUnmatchedBegin(t *testing.T) {
+	tr := New(0)
+	vm := tr.Emitter(ScopeVM, "vm1")
+	vm.Emit(1.0, MigrationStart, "truncated run")
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// The lone begin must surface as an instant, not vanish.
+	if !strings.Contains(buf.String(), `"start"`) {
+		t.Fatalf("unmatched MigrationStart missing from output:\n%s", buf.String())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := traced()
+	if err := WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != tr.Len()+1 {
+		t.Fatalf("%d lines, want %d events + 1 summary", len(lines), tr.Len())
+	}
+	var first JSONLEvent
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != "start" || first.Actor != "vm1" || first.Scope != "vm" {
+		t.Fatalf("first line = %+v", first)
+	}
+	var sum JSONLSummary
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Summary || sum.Events != tr.Len() || sum.Drops != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestWriteJSONLNilTrace(t *testing.T) {
+	var buf bytes.Buffer
+	var tr *Trace
+	if err := WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"summary":true`) {
+		t.Fatalf("nil trace should still emit a summary trailer:\n%s", buf.String())
+	}
+}

@@ -19,8 +19,10 @@ import (
 
 	"agilemig/internal/blockdev"
 	"agilemig/internal/mem"
+	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
 	"agilemig/internal/simnet"
+	"agilemig/internal/trace"
 )
 
 // Message sizes on the wire. A stored page travels with a small header; the
@@ -40,11 +42,48 @@ type VMD struct {
 	eng     *sim.Engine
 	net     *simnet.Network
 	servers []*Server
+	tr      *trace.Trace
+	reg     *metrics.Registry
 }
 
 // New returns an empty VMD on the given network.
 func New(eng *sim.Engine, net *simnet.Network) *VMD {
 	return &VMD{eng: eng, net: net}
+}
+
+// SetObserver attaches a trace bus and metrics registry. Namespaces
+// created afterwards emit demand-read and NACK events; servers and
+// clients (existing and future) register their counters as gauges. Either
+// argument may be nil.
+func (v *VMD) SetObserver(tr *trace.Trace, reg *metrics.Registry) {
+	v.tr = tr
+	v.reg = reg
+	for _, s := range v.servers {
+		s.registerMetrics(reg)
+	}
+}
+
+// registerMetrics exposes the server's occupancy and traffic counters.
+func (s *Server) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p := "vmd/" + s.name + "/"
+	reg.Gauge(p+"used.pages", func() float64 { return float64(s.used) })
+	reg.Gauge(p+"stored.pages", func() float64 { return float64(s.pagesStored) })
+	reg.Gauge(p+"served.pages", func() float64 { return float64(s.pagesServed) })
+	reg.Gauge(p+"rejects", func() float64 { return float64(s.rejects) })
+}
+
+// registerMetrics exposes the client's cumulative page traffic.
+func (c *Client) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p := "vmd/" + c.name + "/"
+	reg.Gauge(p+"written.pages", func() float64 { return float64(c.pagesWritten) })
+	reg.Gauge(p+"read.pages", func() float64 { return float64(c.pagesRead) })
+	reg.Gauge(p+"retries", func() float64 { return float64(c.retries) })
 }
 
 // Server is the VMD server kernel module on one intermediate host. Memory
@@ -105,6 +144,7 @@ func (v *VMD) AddServer(name string, nic *simnet.NIC, capacityPages int64) *Serv
 	}
 	s := &Server{vmd: v, idx: int16(len(v.servers)), name: name, nic: nic, capacity: capacityPages}
 	v.servers = append(v.servers, s)
+	s.registerMetrics(v.reg)
 	return s
 }
 
@@ -155,6 +195,7 @@ func (c *Client) SetLoadAware(on bool) { c.blindRR = !on }
 // every server, and starts the capacity gossip.
 func (v *VMD) NewClient(name string, nic *simnet.NIC, latency sim.Duration) *Client {
 	c := &Client{vmd: v, name: name, nic: nic}
+	c.registerMetrics(v.reg)
 	for _, s := range v.servers {
 		link := &serverLink{
 			toServer:   v.net.NewFlow(fmt.Sprintf("vmd:%s->%s", name, s.name), nic, s.nic, latency),
@@ -199,6 +240,7 @@ type Namespace struct {
 	onDisk    *mem.Bitmap
 	clients   map[*Client]bool
 	stored    int64
+	em        *trace.Emitter
 }
 
 // CreateNamespace carves a namespace of the given size (in pages) out of
@@ -211,7 +253,11 @@ func (v *VMD) CreateNamespace(name string, pages int) *Namespace {
 	for i := range p {
 		p[i] = noServer
 	}
-	return &Namespace{vmd: v, name: name, placement: p, onDisk: mem.NewBitmap(pages), clients: make(map[*Client]bool)}
+	return &Namespace{
+		vmd: v, name: name, placement: p, onDisk: mem.NewBitmap(pages),
+		clients: make(map[*Client]bool),
+		em:      v.tr.Emitter(trace.ScopeDevice, "vmd:"+name),
+	}
 }
 
 // Name returns the namespace name.
@@ -339,6 +385,9 @@ func (ns *Namespace) sendWrite(c *Client, s *Server, off uint32, isNew bool, fn 
 			// next server in rotation.
 			s.rejects++
 			link.freeHint = 0
+			if ns.em.Enabled() {
+				ns.em.Emitf(ns.vmd.eng.NowSeconds(), trace.VMDNack, "%s full, %s retrying offset %d", s.name, c.name, off)
+			}
 			link.fromServer.SendMessage(AckBytes, func() {
 				c.retries++
 				ns.writeNew(c, off, fn, attempts-1, s)
@@ -394,6 +443,9 @@ func (ns *Namespace) Read(c *Client, off uint32, fn func()) {
 		panic(fmt.Sprintf("vmd: read of unwritten offset %d in %s", off, ns.name))
 	}
 	s := ns.vmd.servers[sIdx]
+	if ns.em.Enabled() {
+		ns.em.Emitf(ns.vmd.eng.NowSeconds(), trace.VMDRead, "offset %d from %s via %s", off, s.name, c.name)
+	}
 	link := c.links[s.idx]
 	link.toServer.SendMessage(RequestBytes, func() {
 		respond := func() {

@@ -17,6 +17,7 @@ import (
 	"agilemig/internal/cgroup"
 	"agilemig/internal/mem"
 	"agilemig/internal/sim"
+	"agilemig/internal/trace"
 )
 
 // TrackerConfig holds the adjustment parameters. The defaults are the
@@ -71,7 +72,14 @@ type Tracker struct {
 	stopped     bool
 
 	adjustments int64
+
+	// em records convergence transitions; nil records nothing.
+	em *trace.Emitter
 }
+
+// SetEmitter attaches a trace emitter for stability transitions; nil (the
+// default) detaches.
+func (t *Tracker) SetEmitter(em *trace.Emitter) { t.em = em }
 
 // NewTracker starts tracking the group. Adjustment begins one FastInterval
 // from now.
@@ -162,6 +170,9 @@ func (t *Tracker) adjust() {
 		t.stable = true
 		t.everStable = true
 		t.stableAt = next
+		if t.em.Enabled() {
+			t.em.Emitf(now, trace.WSSStable, "working set converged at %d MB", next>>20)
+		}
 	}
 	// If the working set moves, re-converge at the fast interval: either
 	// the reservation has drifted far from the stable point, or the swap
@@ -181,6 +192,9 @@ func (t *Tracker) adjust() {
 			t.stable = false
 			t.dirHistory = t.dirHistory[:0]
 			t.stableGrows = 0
+			if t.em.Enabled() {
+				t.em.Emitf(now, trace.WSSUnstable, "working set moved (%d MB, was %d MB); re-converging", next>>20, t.stableAt>>20)
+			}
 		}
 	}
 
