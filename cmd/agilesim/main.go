@@ -21,7 +21,13 @@
 //	fig10      YCSB throughput while the reservation adapts
 //	ablation   design-choice ablations (push, remote swap, placement, watermarks)
 //	quickstart one loaded VM migrated with each technique (the observability demo)
+//	recovery   Agile migration surviving a VMD server crash (K=1 vs K=2)
 //	all        everything above
+//
+// The -faults flag injects a deterministic fault schedule into the
+// quickstart runs (e.g. -faults crash:inter1@130+10,loss:source@125+5=0.2)
+// and -replicas sets the VMD replication factor; both default to off, in
+// which case the output is byte-identical to a build without fault support.
 //
 // The -trace-out flag writes a Chrome trace-event JSON file (open it in
 // Perfetto or chrome://tracing) of the quickstart's observed run;
@@ -48,6 +54,7 @@ import (
 	"agilemig/internal/host"
 	"agilemig/internal/metrics"
 	"agilemig/internal/report"
+	"agilemig/internal/sim"
 	"agilemig/internal/trace"
 	"agilemig/internal/workload"
 )
@@ -63,9 +70,11 @@ func main() {
 	traceJSONL := flag.String("trace-jsonl", "", "write the trace as JSON lines to this file")
 	metricsOut := flag.String("metrics-out", "", "write sampled metric series as JSON lines to this file")
 	traceBuf := flag.Int("trace-buf", trace.DefaultBusCapacity, "trace ring-buffer capacity (events)")
+	faults := flag.String("faults", "", "fault schedule for quickstart runs (crash:<srv>@<t>[+<d>],linkdown:<nic>@<t>[+<d>],loss:<nic>@<t>[+<d>][=<rate>])")
+	replicas := flag.Int("replicas", 0, "VMD replication factor for quickstart runs (0/1 = off)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-cpuprofile file] [-memprofile file] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart demo report all\n")
+		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-faults plan] [-replicas k] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-cpuprofile file] [-memprofile file] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart recovery demo report all\n")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -211,6 +220,15 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Trace = tr
 		cfg.Metrics = reg
+		cfg.Replicas = *replicas
+		if *faults != "" {
+			plan, err := sim.ParseFaultPlan(*faults)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim: -faults:", err)
+				os.Exit(2)
+			}
+			cfg.Faults = plan
+		}
 		results := experiments.RunQuickstart(cfg)
 
 		table := metrics.NewTable(
@@ -274,6 +292,9 @@ func main() {
 	if id != "quickstart" && (*traceOut != "" || *traceJSONL != "" || *metricsOut != "") {
 		fmt.Fprintln(os.Stderr, "agilesim: -trace-out/-trace-jsonl/-metrics-out attach to the quickstart experiment; ignoring")
 	}
+	if id != "quickstart" && (*faults != "" || *replicas > 1) {
+		fmt.Fprintln(os.Stderr, "agilesim: -faults/-replicas attach to the quickstart experiment (recovery has its own schedule); ignoring")
+	}
 
 	switch id {
 	case "fig4":
@@ -292,6 +313,11 @@ func main() {
 		runAblation()
 	case "quickstart":
 		runQuickstart()
+	case "recovery":
+		rcfg := experiments.DefaultRecoveryConfig()
+		rcfg.Scale = *scale
+		rcfg.Seed = *seed
+		experiments.PrintRecovery(out, experiments.RunRecovery(rcfg))
 	case "demo", "trace":
 		runDemo()
 	case "report":

@@ -53,6 +53,23 @@ type Config struct {
 	// for the fast-forward equivalence tests and timing comparisons.
 	DisableFastForward bool
 
+	// Replicas is the VMD replication factor K: every swapped page is
+	// stored on K distinct intermediate servers, so a server crash loses
+	// nothing while K-1 others survive. 0 or 1 disables replication (the
+	// default, and the paper's configuration).
+	Replicas int
+	// Faults, when non-empty, is the deterministic fault schedule injected
+	// into the run: server crashes/restarts, NIC link flaps and
+	// message-loss windows. A nil or empty plan arms nothing — the run is
+	// byte-identical to one built without fault support at all.
+	Faults *sim.FaultPlan
+	// StrictVMD restores the historical panic on pool exhaustion instead
+	// of spilling to the writing host's local disk.
+	StrictVMD bool
+	// VMDFaultTimeoutSeconds overrides the VMD request timeout armed when
+	// Faults is non-empty (0 selects vmd.DefaultFaultTimeout).
+	VMDFaultTimeoutSeconds float64
+
 	// Trace, when non-nil, receives events from every subsystem of the
 	// testbed: simnet flow open/close, cgroup resizes, VMD demand reads,
 	// WSS convergence, and migration phases. Nil (the default) keeps every
@@ -143,12 +160,26 @@ func New(cfg Config) *Testbed {
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		tb.VMD.SetObserver(cfg.Trace, cfg.Metrics)
 	}
+	if cfg.Replicas > 1 {
+		tb.VMD.SetReplicas(cfg.Replicas)
+	}
+	if cfg.StrictVMD {
+		tb.VMD.SetStrict(true)
+	}
 	for i := 0; i < cfg.Intermediates; i++ {
 		nic := net.NewNIC(fmt.Sprintf("inter%d", i+1), cfg.NetBytesPerSec)
 		tb.VMD.AddServer(fmt.Sprintf("inter%d", i+1), nic, cfg.IntermediateRAMBytes/mem.PageSize)
 	}
 	tb.Source.SetVMDClient(tb.VMD.NewClient("source", tb.Source.NIC(), cfg.NetLatency))
 	tb.Dest.SetVMDClient(tb.VMD.NewClient("dest", tb.Dest.NIC(), cfg.NetLatency))
+	// Pool exhaustion degrades to the writing host's local swap partition
+	// (the stream is created lazily, so fault-free runs are untouched).
+	tb.Source.VMDClient().AttachSpill(tb.Source.SwapDevice())
+	tb.Dest.VMDClient().AttachSpill(tb.Dest.SwapDevice())
+	if !cfg.Faults.Empty() {
+		tb.VMD.EnableFaultTolerance(cfg.VMDFaultTimeoutSeconds)
+		tb.applyFaultPlan(cfg.Faults)
+	}
 	if cfg.Metrics != nil {
 		net.RegisterMetrics(cfg.Metrics)
 		interval := cfg.MetricsSampleSeconds
@@ -158,6 +189,48 @@ func New(cfg Config) *Testbed {
 		cfg.Metrics.StartSampling(eng, interval)
 	}
 	return tb
+}
+
+// applyFaultPlan resolves the schedule's targets (servers for
+// crash/restart, NICs for link and loss events) and arms one engine event
+// per entry. Unknown targets panic at build time: a fault plan that names
+// nothing is a scenario bug, not a runtime condition.
+func (tb *Testbed) applyFaultPlan(plan *sim.FaultPlan) {
+	// The loss draws come from a dedicated stream derived from the run
+	// seed, so arming a loss window never perturbs the workload RNGs.
+	lossSeed := tb.Cfg.Seed ^ 0x9e3779b97f4a7c15
+	for _, ev := range plan.Sorted() {
+		ev := ev
+		switch ev.Kind {
+		case sim.FaultCrash, sim.FaultRestart:
+			srv := tb.VMD.ServerByName(ev.Target)
+			if srv == nil {
+				panic("cluster: fault plan names unknown VMD server " + ev.Target)
+			}
+			if ev.Kind == sim.FaultCrash {
+				tb.Eng.AfterSeconds(ev.At, srv.Crash)
+			} else {
+				tb.Eng.AfterSeconds(ev.At, srv.Restart)
+			}
+		case sim.FaultLinkDown, sim.FaultLinkUp:
+			nic := tb.Net.NICByName(ev.Target)
+			if nic == nil {
+				panic("cluster: fault plan names unknown NIC " + ev.Target)
+			}
+			down := ev.Kind == sim.FaultLinkDown
+			tb.Eng.AfterSeconds(ev.At, func() { nic.SetDown(down) })
+		case sim.FaultLossStart, sim.FaultLossEnd:
+			nic := tb.Net.NICByName(ev.Target)
+			if nic == nil {
+				panic("cluster: fault plan names unknown NIC " + ev.Target)
+			}
+			rate := 0.0
+			if ev.Kind == sim.FaultLossStart {
+				rate = ev.Rate
+			}
+			tb.Eng.AfterSeconds(ev.At, func() { nic.SetLossRate(rate, lossSeed) })
+		}
+	}
 }
 
 // RunSeconds advances simulated time.
@@ -254,8 +327,18 @@ func (tb *Testbed) Migrate(h *VMHandle, tech core.Technique, destReservationByte
 // MigrateTuned is Migrate with explicit engine tuning (used by the
 // ablation experiments).
 func (tb *Testbed) MigrateTuned(h *VMHandle, tech core.Technique, destReservationBytes int64, tun core.Tuning) *core.Migration {
+	if !tb.Cfg.Faults.Empty() && tun.DemandRetrySeconds == 0 {
+		// A faulty cluster needs the demand-paging retry path armed, or a
+		// single lost request wedges the destination forever.
+		tun.DemandRetrySeconds = 1.0
+	}
+	// Only Agile and scatter-gather attach the per-VM swap device at the
+	// destination; a pre/post-copy destination must evict to its own
+	// shared partition even when the VM swaps to the VMD at the source
+	// (the source is still live and owns the namespace's offsets — dest
+	// writes through the never-attached client used to panic the VMD).
 	var backend = tb.Dest.SharedSwapBackend()
-	if (tech == core.Agile || tech == core.ScatterGather || h.useVMDSwap) && !tun.NoRemoteSwap {
+	if (tech == core.Agile || tech == core.ScatterGather) && !tun.NoRemoteSwap {
 		backend = host.VMDSwapBackend(h.NS, tb.Dest.VMDClient())
 	}
 	spec := core.Spec{

@@ -123,6 +123,16 @@ type Tuning struct {
 	// pages from the VMD (up to its reservation) after the source is
 	// freed, instead of waiting for faults.
 	GatherPrefetch bool
+
+	// DemandRetrySeconds arms demand-paging timeouts: a destination fault
+	// request unanswered after this long is re-sent with exponential
+	// backoff (doubling per attempt, capped at 16x), up to DemandRetryMax
+	// re-sends. Zero (the default) disables retries — on a fault-free
+	// cluster every request is answered, and the timers are pure overhead.
+	DemandRetrySeconds float64
+	// DemandRetryMax bounds re-sends per page (default 8 when retries are
+	// armed). After the budget the page is left to the active push.
+	DemandRetryMax int
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -165,6 +175,9 @@ func (t Tuning) withDefaults() Tuning {
 	}
 	if t.AutoConvergeFloor == 0 {
 		t.AutoConvergeFloor = 0.2
+	}
+	if t.DemandRetrySeconds > 0 && t.DemandRetryMax == 0 {
+		t.DemandRetryMax = 8
 	}
 	return t
 }
@@ -226,6 +239,12 @@ type Result struct {
 	Rounds            int   // pre-copy iterations (including stop-and-copy)
 	ThrottleEvents    int   // auto-converge vCPU throttles applied
 	PagesScattered    int64 // scatter-gather: pages written to the VMD
+	DemandRetries     int64 // demand requests re-sent after a timeout
+	// StaleOffsetRecords counts Agile offset records invalidated before
+	// switchover by a clean source fault-in freeing the referenced slot;
+	// those pages are re-pushed in full.
+	StaleOffsetRecords int64
+	Aborted            bool // rolled back to the source before switchover
 }
 
 // String summarizes the result.

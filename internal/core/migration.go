@@ -63,6 +63,7 @@ type Migration struct {
 	pendingDemand     map[mem.PageID][]func()
 	srcDrained        bool
 	switched          bool
+	aborted           bool
 
 	downtimeBase sim.Duration
 	result       Result
@@ -166,6 +167,45 @@ func (m *Migration) Done() bool { return m.state == phaseDone }
 
 // Switched reports whether execution has moved to the destination.
 func (m *Migration) Switched() bool { return m.switched }
+
+// Aborted reports whether the migration was rolled back to the source.
+func (m *Migration) Aborted() bool { return m.aborted }
+
+// Abort rolls a pre-switchover migration back to the source: the
+// destination discards everything it received, the VM (resumed if the
+// stop-and-copy had suspended it) keeps running where it was, and the
+// migration flows close. Returns false once execution has moved to the
+// destination (or the migration already finished) — past that point there
+// is no source copy to fall back to.
+func (m *Migration) Abort() bool {
+	if m.switched || m.state == phaseDone || m.aborted {
+		return false
+	}
+	m.aborted = true
+	m.state = phaseDone
+	m.result.Aborted = true
+	m.event(trace.MigrationAbort, "rolled back to %s after %d pages sent",
+		m.spec.Source.Name(), m.result.PagesSent)
+	// The destination side is torn down; its cgroup never ran the VM.
+	m.destGroup.Disable()
+	m.spec.Dest.RemoveVM(m.vm.Name())
+	// Undo anything the live phase did to the guest's execution.
+	m.vm.SetCPUQuota(1)
+	if !m.vm.Running() {
+		m.vm.Resume()
+	}
+	m.result.End = m.eng.Now()
+	m.result.TotalSeconds = sim.Seconds(m.result.End-m.result.Start, m.eng.TickLen())
+	m.result.DowntimeSeconds = sim.Seconds(sim.Time(m.vm.Downtime()-m.downtimeBase), m.eng.TickLen())
+	m.result.BytesTransferred = m.pushFlow.Offered() + m.demandFlow.Offered() + m.ctrlFlow.Offered()
+	m.pushFlow.Close()
+	m.demandFlow.Close()
+	m.ctrlFlow.Close()
+	if m.spec.OnComplete != nil {
+		m.spec.OnComplete(&m.result)
+	}
+	return true
+}
 
 // Tick advances the engine's current phase.
 func (m *Migration) Tick(_ sim.Time) {
@@ -301,6 +341,11 @@ func (m *Migration) pumpPush() {
 				m.pushFlow.SendMessage(m.tun.RecordBytes, func() {
 					m.maybeComplete()
 				})
+				if m.tun.DemandRetrySeconds > 0 {
+					// The marker itself can be lost inside a loss window;
+					// poll completion at the retry cadence as a backstop.
+					m.armDrainCheck()
+				}
 			}
 			return
 		}
@@ -319,6 +364,21 @@ func (m *Migration) pumpPush() {
 		}
 		budget--
 	}
+}
+
+// armDrainCheck re-evaluates completion periodically once the source has
+// drained, so a lost drain marker or demand response cannot wedge an
+// otherwise-finished migration.
+func (m *Migration) armDrainCheck() {
+	m.eng.AfterSeconds(m.tun.DemandRetrySeconds, func() {
+		if m.state == phaseDone {
+			return
+		}
+		m.maybeComplete()
+		if m.state != phaseDone {
+			m.armDrainCheck()
+		}
+	})
 }
 
 // swapInAndSend swaps in page p at the source — together with up to a
@@ -438,15 +498,65 @@ func (m *Migration) requestFromSource(p mem.PageID, done func()) {
 		m.em.Emitf(m.eng.NowSeconds(), trace.DemandFault, "page %d requested from %s", p, m.spec.Source.Name())
 	}
 	m.ctrlFlow.SendMessage(m.tun.DemandRequestBytes, func() {
-		m.serveDemand(p)
+		m.serveDemand(p, false)
+	})
+	if m.tun.DemandRetrySeconds > 0 {
+		m.armDemandRetry(p, m.tun.DemandRetrySeconds, 1)
+	}
+}
+
+// armDemandRetry re-sends a demand request that a crash, link outage or
+// lost message swallowed: if the page is still unanswered when the timer
+// fires, the request goes out again and the timeout doubles (capped at
+// 16x the base), up to the retry budget. A retried request may cross a
+// late response on the wire; the duplicate delivery is absorbed by
+// deliverFullPage.
+func (m *Migration) armDemandRetry(p mem.PageID, delay float64, attempt int) {
+	m.eng.AfterSeconds(delay, func() {
+		if m.state == phaseDone {
+			return
+		}
+		if _, waiting := m.pendingDemand[p]; !waiting {
+			return
+		}
+		if attempt > m.tun.DemandRetryMax {
+			return // budget spent; the active push still covers the page
+		}
+		m.result.DemandRetries++
+		m.event(trace.DemandRetry, "page %d unanswered after %.2fs, re-requesting (attempt %d)", p, delay, attempt)
+		m.ctrlFlow.SendMessage(m.tun.DemandRequestBytes, func() {
+			m.serveDemand(p, true)
+		})
+		next := delay * 2
+		if max := m.tun.DemandRetrySeconds * 16; next > max {
+			next = max
+		}
+		m.armDemandRetry(p, next, attempt+1)
 	})
 }
 
 // serveDemand handles a fault request at the source.
-func (m *Migration) serveDemand(p mem.PageID) {
+func (m *Migration) serveDemand(p mem.PageID, retry bool) {
 	if m.pushBM == nil || !m.pushBM.Test(p) {
 		// Already pushed (or being pushed): the in-flight copy will fire
-		// the waiters on delivery.
+		// the waiters on delivery — unless this is a retry, meaning that
+		// copy (or the earlier response) was likely lost in transit; send
+		// the page again and let duplicate delivery dedup.
+		if !retry {
+			return
+		}
+		if _, waiting := m.pendingDemand[p]; !waiting {
+			return
+		}
+		if st := m.srcTable.State(p); st.OnSwap() {
+			m.faultInFlight++
+			m.srcGroup.FaultIn(p, func() {
+				m.faultInFlight--
+				m.respondDemand(p)
+			})
+			return
+		}
+		m.respondDemand(p)
 		return
 	}
 	m.pushBM.Clear(p)
@@ -499,7 +609,14 @@ func (m *Migration) maybeComplete() {
 	if m.state != phasePush || !m.srcDrained {
 		return
 	}
-	if m.outstandingDemand > 0 || len(m.pendingDemand) > 0 || m.faultInFlight > 0 {
+	if len(m.pendingDemand) > 0 || m.faultInFlight > 0 {
+		return
+	}
+	// With retries off every response callback fires, so in-flight
+	// responses gate completion exactly. With retries armed a lost
+	// response leaks this counter; the destination is whole once nothing
+	// is pending, so the leak must not wedge completion.
+	if m.outstandingDemand > 0 && m.tun.DemandRetrySeconds <= 0 {
 		return
 	}
 	m.complete()
@@ -557,6 +674,18 @@ func (m *Migration) switchover() {
 		m.destGroup.SetReservationBytes(m.spec.DestReservationBytes)
 	}
 	if m.tech == Agile {
+		// An offset record can go stale without the page ever hitting the
+		// dirty log: a clean read at the source faults the page in, which
+		// frees the swap slot the record points at. Fold such pages into
+		// the push set so the record is discarded below and the resident
+		// copy is re-sent like any other live-round casualty.
+		m.offsetSent.ForEachSet(func(p mem.PageID) bool {
+			if !m.srcTable.State(p).OnSwap() && !m.pushBM.Test(p) {
+				m.pushBM.Set(p)
+				m.result.StaleOffsetRecords++
+			}
+			return true
+		})
 		// Discard destination copies that went stale during the live
 		// round: the shipped dirty bitmap tells the destination which
 		// pages must come from the source regardless of what it received.

@@ -5,6 +5,7 @@ import (
 	"agilemig/internal/core"
 	"agilemig/internal/dist"
 	"agilemig/internal/metrics"
+	"agilemig/internal/sim"
 	"agilemig/internal/trace"
 	"agilemig/internal/workload"
 )
@@ -28,6 +29,13 @@ type QuickstartConfig struct {
 	ObserveTechnique core.Technique
 
 	DisableFastForward bool
+
+	// Faults, when non-empty, is injected into every technique's testbed
+	// (each gets its own clock, so the schedule replays per run); Replicas
+	// sets the VMD replication factor. Both default to off, keeping the
+	// runs byte-identical to builds without fault support.
+	Faults   *sim.FaultPlan
+	Replicas int
 }
 
 // DefaultQuickstartConfig returns the quickstart scenario at the given
@@ -66,6 +74,8 @@ func RunQuickstart(cfg QuickstartConfig) []QuickstartResult {
 		ccfg.HostRAMBytes = scaleBytes(6*cluster.GiB, cfg.Scale)
 		ccfg.IntermediateRAMBytes = scaleBytes(16*cluster.GiB, cfg.Scale)
 		ccfg.DisableFastForward = cfg.DisableFastForward
+		ccfg.Faults = cfg.Faults
+		ccfg.Replicas = cfg.Replicas
 		if tech == cfg.ObserveTechnique {
 			ccfg.Trace = cfg.Trace
 			ccfg.Metrics = cfg.Metrics

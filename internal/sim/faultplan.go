@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FaultKind classifies one injected fault event. The schedule is data-only:
+// the sim package knows nothing about servers or NICs, so a FaultPlan names
+// its targets by string and the testbed layer resolves them (a VMD server
+// for crash/restart, a NIC for link and loss events).
+type FaultKind int
+
+const (
+	// FaultCrash takes a VMD server down; its stored pages are lost.
+	FaultCrash FaultKind = iota
+	// FaultRestart brings a crashed server back, empty.
+	FaultRestart
+	// FaultLinkDown takes a NIC down: nothing transmits from or delivers to
+	// it until the matching FaultLinkUp.
+	FaultLinkDown
+	// FaultLinkUp restores a downed NIC.
+	FaultLinkUp
+	// FaultLossStart begins a message-loss window on a NIC: each framed
+	// message touching the NIC is dropped with probability Rate.
+	FaultLossStart
+	// FaultLossEnd closes the NIC's message-loss window.
+	FaultLossEnd
+)
+
+// String names the kind (also the spec syntax's verb).
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultRestart:
+		return "restart"
+	case FaultLinkDown:
+		return "linkdown"
+	case FaultLinkUp:
+		return "linkup"
+	case FaultLossStart:
+		return "loss"
+	case FaultLossEnd:
+		return "loss-end"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	At     float64 // simulated seconds
+	Kind   FaultKind
+	Target string  // server or NIC name, resolved by the testbed
+	Rate   float64 // loss probability for FaultLossStart, else unused
+}
+
+// FaultPlan is a deterministic fault schedule. The zero value is the empty
+// plan; an empty plan injects nothing and arms nothing, so a run with it is
+// byte-identical to a run without fault injection at all. Builders append
+// paired down/up events so a scenario reads as whole outages:
+//
+//	plan := (&sim.FaultPlan{}).
+//	        CrashRestart("inter1", 150, 60).
+//	        LinkFlap("source", 200, 5)
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// Empty reports whether the plan schedules anything. A nil plan is empty.
+func (p *FaultPlan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// CrashRestart crashes the target server at `at` seconds and restarts it
+// downFor seconds later (downFor <= 0 means it never restarts).
+func (p *FaultPlan) CrashRestart(target string, at, downFor float64) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultCrash, Target: target})
+	if downFor > 0 {
+		p.Events = append(p.Events, FaultEvent{At: at + downFor, Kind: FaultRestart, Target: target})
+	}
+	return p
+}
+
+// LinkFlap takes the target NIC down at `at` seconds for downFor seconds
+// (downFor <= 0 means it never comes back).
+func (p *FaultPlan) LinkFlap(target string, at, downFor float64) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultLinkDown, Target: target})
+	if downFor > 0 {
+		p.Events = append(p.Events, FaultEvent{At: at + downFor, Kind: FaultLinkUp, Target: target})
+	}
+	return p
+}
+
+// LossWindow drops each message touching the target NIC with probability
+// rate during [at, at+duration) seconds.
+func (p *FaultPlan) LossWindow(target string, at, duration, rate float64) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, Kind: FaultLossStart, Target: target, Rate: rate})
+	if duration > 0 {
+		p.Events = append(p.Events, FaultEvent{At: at + duration, Kind: FaultLossEnd, Target: target})
+	}
+	return p
+}
+
+// Sorted returns the events ordered by time (stable: builder order breaks
+// ties), leaving the plan itself untouched.
+func (p *FaultPlan) Sorted() []FaultEvent {
+	if p.Empty() {
+		return nil
+	}
+	out := make([]FaultEvent, len(p.Events))
+	copy(out, p.Events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// ParseFaultPlan parses the CLI fault spec: a comma-separated list of
+// entries
+//
+//	crash:<server>@<at>[+<downFor>]
+//	linkdown:<nic>@<at>[+<downFor>]
+//	loss:<nic>@<at>[+<duration>][=<rate>]
+//
+// with times in simulated seconds, e.g.
+// "crash:inter1@150+60,linkdown:source@200+5,loss:dest@100+30=0.2".
+// The loss rate defaults to 0.1. An empty spec yields an empty plan.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	plan := &FaultPlan{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return plan, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		verb, rest, ok := strings.Cut(strings.TrimSpace(entry), ":")
+		if !ok {
+			return nil, fmt.Errorf("fault %q: want <kind>:<target>@<at>[+<dur>]", entry)
+		}
+		target, timing, ok := strings.Cut(rest, "@")
+		if !ok || target == "" {
+			return nil, fmt.Errorf("fault %q: missing @<at>", entry)
+		}
+		rate := 0.1
+		if verb == "loss" {
+			if t, r, found := strings.Cut(timing, "="); found {
+				v, err := strconv.ParseFloat(r, 64)
+				if err != nil || v <= 0 || v > 1 {
+					return nil, fmt.Errorf("fault %q: bad loss rate %q", entry, r)
+				}
+				timing, rate = t, v
+			}
+		}
+		atStr, durStr, hasDur := strings.Cut(timing, "+")
+		at, err := strconv.ParseFloat(atStr, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("fault %q: bad time %q", entry, atStr)
+		}
+		dur := 0.0
+		if hasDur {
+			if dur, err = strconv.ParseFloat(durStr, 64); err != nil || dur <= 0 {
+				return nil, fmt.Errorf("fault %q: bad duration %q", entry, durStr)
+			}
+		}
+		switch verb {
+		case "crash":
+			plan.CrashRestart(target, at, dur)
+		case "linkdown":
+			plan.LinkFlap(target, at, dur)
+		case "loss":
+			plan.LossWindow(target, at, dur, rate)
+		default:
+			return nil, fmt.Errorf("fault %q: unknown kind %q (want crash, linkdown or loss)", entry, verb)
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,95 @@
+package sim
+
+import "testing"
+
+func TestParseFaultPlanFull(t *testing.T) {
+	plan, err := ParseFaultPlan("crash:inter1@150+60, linkdown:source@200+5, loss:dest@100+30=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FaultEvent{
+		{At: 150, Kind: FaultCrash, Target: "inter1"},
+		{At: 210, Kind: FaultRestart, Target: "inter1"},
+		{At: 200, Kind: FaultLinkDown, Target: "source"},
+		{At: 205, Kind: FaultLinkUp, Target: "source"},
+		{At: 100, Kind: FaultLossStart, Target: "dest", Rate: 0.2},
+		{At: 130, Kind: FaultLossEnd, Target: "dest"},
+	}
+	if len(plan.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(plan.Events), len(want))
+	}
+	for i, w := range want {
+		if plan.Events[i] != w {
+			t.Fatalf("event %d = %+v, want %+v", i, plan.Events[i], w)
+		}
+	}
+}
+
+func TestParseFaultPlanDefaults(t *testing.T) {
+	plan, err := ParseFaultPlan("crash:inter2@10,loss:source@5+2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash with no duration never restarts; a loss rate defaults to 0.1.
+	if len(plan.Events) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(plan.Events))
+	}
+	if plan.Events[0].Kind != FaultCrash || plan.Events[1].Kind != FaultLossStart {
+		t.Fatalf("unexpected kinds %v, %v", plan.Events[0].Kind, plan.Events[1].Kind)
+	}
+	if plan.Events[1].Rate != 0.1 {
+		t.Fatalf("default loss rate = %v, want 0.1", plan.Events[1].Rate)
+	}
+}
+
+func TestParseFaultPlanEmpty(t *testing.T) {
+	plan, err := ParseFaultPlan("   ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatal("blank spec parsed to a non-empty plan")
+	}
+}
+
+func TestParseFaultPlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"crash",                  // no target
+		"crash:inter1",           // no time
+		"crash:@5",               // empty target
+		"crash:inter1@x",         // bad time
+		"crash:inter1@-5",        // negative time
+		"crash:inter1@5+0",       // non-positive duration
+		"reboot:inter1@5",        // unknown verb
+		"loss:source@5+2=1.5",    // rate out of range
+		"loss:source@5+2=0",      // rate out of range
+		"crash:a@1,linkdown:b@x", // later entry bad
+	} {
+		if _, err := ParseFaultPlan(spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+func TestFaultPlanEmptyAndSorted(t *testing.T) {
+	var nilPlan *FaultPlan
+	if !nilPlan.Empty() || !(&FaultPlan{}).Empty() {
+		t.Fatal("nil/zero plan not empty")
+	}
+	plan := (&FaultPlan{}).
+		LinkFlap("source", 200, 5).
+		CrashRestart("inter1", 150, 60)
+	sorted := plan.Sorted()
+	if len(sorted) != 4 {
+		t.Fatalf("Sorted returned %d events", len(sorted))
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].At < sorted[i-1].At {
+			t.Fatalf("Sorted out of order at %d: %+v", i, sorted)
+		}
+	}
+	// The plan itself keeps builder order.
+	if plan.Events[0].Kind != FaultLinkDown {
+		t.Fatal("Sorted mutated the plan")
+	}
+}

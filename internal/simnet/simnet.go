@@ -33,6 +33,11 @@ type Network struct {
 	active []*Flow
 	ports  []*NIC
 
+	// lossRNG drives message-loss decisions. It is created lazily by the
+	// first SetLossRate call, so fault-free runs draw nothing from it and
+	// stay byte-identical to builds without fault injection.
+	lossRNG *sim.RNG
+
 	// em records flow open/close events; nil (the default) records nothing.
 	em *trace.Emitter
 }
@@ -70,9 +75,19 @@ type NIC struct {
 	ingressBpt int64
 	net        *Network
 
+	// down, when set, stops the NIC from transmitting or accepting
+	// deliveries: egress flows are excluded from arbitration and in-transit
+	// bytes destined here are held on the wire until the NIC comes back.
+	down bool
+	// lossRate, when positive, drops each framed message offered on a flow
+	// touching this NIC with that probability (the message's bytes still
+	// travel; its callback never fires — a corrupted frame).
+	lossRate float64
+
 	// statistics
 	egressBytes  int64
 	ingressBytes int64
+	msgsLost     int64
 
 	// arbitration scratch (valid only within one arbitrate call)
 	arbMark  bool
@@ -103,6 +118,58 @@ func (nc *NIC) BytesSent() int64 { return nc.egressBytes }
 
 // BytesReceived returns cumulative bytes received by this NIC.
 func (nc *NIC) BytesReceived() int64 { return nc.ingressBytes }
+
+// NICByName returns the named NIC, or nil.
+func (n *Network) NICByName(name string) *NIC {
+	for _, nc := range n.nics {
+		if nc.name == name {
+			return nc
+		}
+	}
+	return nil
+}
+
+// SetDown changes the NIC's link state. While down the NIC neither
+// transmits nor accepts deliveries; flows keep their backlog and in-transit
+// bytes wait on the wire, so traffic resumes (late, in order) when the link
+// returns.
+func (nc *NIC) SetDown(down bool) {
+	if nc.down == down {
+		return
+	}
+	nc.down = down
+	if nc.net.em.Enabled() {
+		kind := trace.LinkUp
+		if down {
+			kind = trace.LinkDown
+		}
+		nc.net.em.Emitf(nc.net.eng.NowSeconds(), kind, "nic %s", nc.name)
+	}
+}
+
+// Down reports whether the NIC's link is down.
+func (nc *NIC) Down() bool { return nc.down }
+
+// SetLossRate opens (rate > 0) or closes (rate <= 0) a message-loss window
+// on the NIC. The first call with a positive rate lazily seeds the
+// network's loss stream from the given seed; fault-free runs never touch
+// it. Rates above 1 clamp to 1.
+func (nc *NIC) SetLossRate(rate float64, seed uint64) {
+	if rate > 1 {
+		rate = 1
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	nc.lossRate = rate
+	if rate > 0 && nc.net.lossRNG == nil {
+		nc.net.lossRNG = sim.NewRNG(seed)
+	}
+}
+
+// MessagesLost returns how many framed messages were dropped by loss
+// windows touching this NIC (counted at the sending side).
+func (nc *NIC) MessagesLost() int64 { return nc.msgsLost }
 
 type pendingMessage struct {
 	endOffset int64 // cumulative delivered-byte position completing this message
@@ -175,7 +242,10 @@ func (f *Flow) Send(bytes int64) {
 
 // SendMessage offers a framed message; fn (if non-nil) runs when its final
 // byte is delivered at the destination. Zero-byte messages are delivered
-// after the flow latency behind any queued bytes.
+// after the flow latency behind any queued bytes. During a loss window on
+// either endpoint the message may be dropped: its bytes still travel (the
+// frame is sent but arrives corrupted), but fn never fires — callers with
+// at-least-once requirements pair SendMessage with a timeout.
 func (f *Flow) SendMessage(bytes int64, fn func()) {
 	if bytes < 0 {
 		panic("simnet: negative message size")
@@ -185,9 +255,33 @@ func (f *Flow) SendMessage(bytes int64, fn func()) {
 	}
 	f.backlog += bytes
 	f.offered += bytes
+	if fn != nil && f.lost(bytes) {
+		fn = nil
+	}
 	if fn != nil {
 		f.msgs = append(f.msgs, pendingMessage{endOffset: f.offered, fn: fn})
 	}
+}
+
+// lost decides whether the message just offered falls inside a loss window
+// (one draw against the larger endpoint rate).
+func (f *Flow) lost(bytes int64) bool {
+	rate := f.src.lossRate
+	if f.dst.lossRate > rate {
+		rate = f.dst.lossRate
+	}
+	if rate <= 0 || f.net.lossRNG == nil || f.net.lossRNG.Float64() >= rate {
+		return false
+	}
+	if f.src.lossRate >= f.dst.lossRate {
+		f.src.msgsLost++
+	} else {
+		f.dst.msgsLost++
+	}
+	if f.net.em.Enabled() {
+		f.net.em.Emitf(f.net.eng.NowSeconds(), trace.MessageLost, "%s: %d-byte message dropped", f.name, bytes)
+	}
+	return true
 }
 
 // Close drops any undelivered traffic and ignores future sends. Pending
@@ -240,6 +334,13 @@ func (n *Network) NextWake(now sim.Time) (sim.Time, bool) {
 		if f.closed {
 			continue
 		}
+		if f.src.down || f.dst.down {
+			// The flow is frozen: no transmission, no delivery. The link-up
+			// fault event already sits in the engine's queue and bounds any
+			// idle jump, so a held backlog or transit queue must not pin the
+			// clock to every tick.
+			continue
+		}
 		if f.backlog > 0 {
 			return now + 1, true
 		}
@@ -256,7 +357,7 @@ func (n *Network) NextWake(now sim.Time) (sim.Time, bool) {
 
 func (n *Network) deliver(now sim.Time) {
 	for _, f := range n.flows {
-		if f.closed {
+		if f.closed || f.dst.down {
 			continue
 		}
 		for f.trHead < len(f.transit) && f.transit[f.trHead].arrive <= now {
@@ -405,7 +506,7 @@ func (n *Network) arbitrate() {
 func (n *Network) activeFlows() []*Flow {
 	active := n.active[:0]
 	for _, f := range n.flows {
-		if !f.closed && f.backlog > 0 {
+		if !f.closed && f.backlog > 0 && !f.src.down && !f.dst.down {
 			active = append(active, f)
 		}
 	}

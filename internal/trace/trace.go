@@ -74,6 +74,36 @@ const (
 	FlowOpen
 	// FlowClose marks a network flow closing.
 	FlowClose
+
+	// ServerCrash marks a VMD server going down (its stored pages are
+	// lost; replicated pages remain readable elsewhere).
+	ServerCrash
+	// ServerRestart marks a crashed VMD server rejoining, empty.
+	ServerRestart
+	// LinkDown marks a NIC losing its link.
+	LinkDown
+	// LinkUp marks a NIC's link returning.
+	LinkUp
+	// MessageLost marks a framed message dropped inside a loss window.
+	MessageLost
+	// VMDSpill marks a page spilled to the writing host's local swap disk
+	// because no VMD server could take it (pool exhausted).
+	VMDSpill
+	// VMDFailover marks a read served from a replica because the primary
+	// copy's server is down.
+	VMDFailover
+	// VMDRepair marks background re-replication restoring a page's
+	// replication factor after a crash.
+	VMDRepair
+	// VMDLost marks a read of a page whose every copy died with crashed
+	// servers (served as zero-fill, counted as data loss).
+	VMDLost
+	// DemandRetry marks a destination re-sending a demand-page request
+	// after a timeout (source or network outage).
+	DemandRetry
+	// MigrationAbort marks a pre-switchover migration rolling back to the
+	// source.
+	MigrationAbort
 )
 
 // String names the kind.
@@ -123,6 +153,28 @@ func (k Kind) String() string {
 		return "flow-open"
 	case FlowClose:
 		return "flow-close"
+	case ServerCrash:
+		return "server-crash"
+	case ServerRestart:
+		return "server-restart"
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case MessageLost:
+		return "msg-lost"
+	case VMDSpill:
+		return "vmd-spill"
+	case VMDFailover:
+		return "vmd-failover"
+	case VMDRepair:
+		return "vmd-repair"
+	case VMDLost:
+		return "vmd-lost"
+	case DemandRetry:
+		return "demand-retry"
+	case MigrationAbort:
+		return "abort"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
