@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test lint vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Run the agilelint suite (detrand, maporder, emitnil, unitcheck,
+# tickdrift) over the whole repository through the vet driver — the same
+# invocation CI's lint job uses. See DESIGN.md §"Statically enforced
+# invariants" for what each analyzer proves.
+lint:
+	$(GO) build -o agilelint ./cmd/agilelint && $(GO) vet -vettool=./agilelint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w cmd internal examples

@@ -1,0 +1,23 @@
+// Agilelint is the repository's static-analysis suite: five analyzers
+// that prove determinism and simulation hygiene at compile time
+// (DESIGN.md §"Statically enforced invariants").
+//
+// Standalone:
+//
+//	go run ./cmd/agilelint ./...
+//
+// As a vet tool (what CI runs, and what editors integrate with):
+//
+//	go build -o agilelint ./cmd/agilelint
+//	go vet -vettool=./agilelint ./...
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/multichecker"
+
+	"agilemig/internal/analyzers"
+)
+
+func main() {
+	multichecker.Main(analyzers.All()...)
+}

@@ -26,8 +26,10 @@
 //
 // The -faults flag injects a deterministic fault schedule into the
 // quickstart runs (e.g. -faults crash:inter1@130+10,loss:source@125+5=0.2)
-// and -replicas sets the VMD replication factor; both default to off, in
-// which case the output is byte-identical to a build without fault support.
+// and -replicas sets the VMD replication factor (for recovery it instead
+// narrows the K=1-vs-K=2 comparison to the given K); both default to off,
+// in which case the output is byte-identical to a build without fault
+// support.
 //
 // The -trace-out flag writes a Chrome trace-event JSON file (open it in
 // Perfetto or chrome://tracing) of the quickstart's observed run;
@@ -71,7 +73,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write sampled metric series as JSON lines to this file")
 	traceBuf := flag.Int("trace-buf", trace.DefaultBusCapacity, "trace ring-buffer capacity (events)")
 	faults := flag.String("faults", "", "fault schedule for quickstart runs (crash:<srv>@<t>[+<d>],linkdown:<nic>@<t>[+<d>],loss:<nic>@<t>[+<d>][=<rate>])")
-	replicas := flag.Int("replicas", 0, "VMD replication factor for quickstart runs (0/1 = off)")
+	replicas := flag.Int("replicas", 0, "VMD replication factor for quickstart runs; for recovery, run only this K (0/1 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-faults plan] [-replicas k] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-cpuprofile file] [-memprofile file] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart recovery demo report all\n")
@@ -292,8 +294,11 @@ func main() {
 	if id != "quickstart" && (*traceOut != "" || *traceJSONL != "" || *metricsOut != "") {
 		fmt.Fprintln(os.Stderr, "agilesim: -trace-out/-trace-jsonl/-metrics-out attach to the quickstart experiment; ignoring")
 	}
-	if id != "quickstart" && (*faults != "" || *replicas > 1) {
-		fmt.Fprintln(os.Stderr, "agilesim: -faults/-replicas attach to the quickstart experiment (recovery has its own schedule); ignoring")
+	if id != "quickstart" && *faults != "" {
+		fmt.Fprintln(os.Stderr, "agilesim: -faults attaches to the quickstart experiment (recovery has its own schedule); ignoring")
+	}
+	if id != "quickstart" && id != "recovery" && *replicas > 1 {
+		fmt.Fprintln(os.Stderr, "agilesim: -replicas attaches to the quickstart and recovery experiments; ignoring")
 	}
 
 	switch id {
@@ -317,6 +322,11 @@ func main() {
 		rcfg := experiments.DefaultRecoveryConfig()
 		rcfg.Scale = *scale
 		rcfg.Seed = *seed
+		// -replicas narrows the K=1-vs-K=2 comparison to a single factor
+		// (CI byte-diffs the K=2 run on its own).
+		if *replicas > 1 {
+			rcfg.ReplicaFactors = []int{*replicas}
+		}
 		experiments.PrintRecovery(out, experiments.RunRecovery(rcfg))
 	case "demo", "trace":
 		runDemo()

@@ -58,7 +58,7 @@ func main() {
 		fmt.Printf("%8.0f %11d MiB %8d MiB %12.0f %8v\n",
 			tb.Eng.NowSeconds(),
 			h.VM.Group().ReservationBytes()/cluster.MiB,
-			int64(h.VM.Table().InRAM())*mem.PageSize/cluster.MiB,
+			mem.PagesToBytes(h.VM.Table().InRAM())/cluster.MiB,
 			rate, tracker.Stable())
 	}
 	fmt.Printf("\nfinal working-set estimate: %d MiB (dataset %d MiB)\n",

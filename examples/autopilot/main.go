@@ -61,7 +61,7 @@ func main() {
 			fmt.Printf("  %-6s on %-6s reservation %5d MiB, resident %5d MiB\n",
 				h.VM.Name(), where,
 				h.VM.Group().ReservationBytes()/cluster.MiB,
-				int64(h.VM.Table().InRAM())*mem.PageSize/cluster.MiB)
+				mem.PagesToBytes(h.VM.Table().InRAM())/cluster.MiB)
 		}
 		fmt.Printf("  migrated so far: %v\n", ap.Migrated())
 	}

@@ -1,3 +1,11 @@
 module agilemig
 
 go 1.22
+
+require golang.org/x/tools v0.24.0
+
+// The build environment has no module proxy access, so the go/analysis
+// subset that agilelint needs is provided in-tree (see the README in the
+// replacement directory). Dropping this line and running `go get` swaps
+// in the upstream module without source changes.
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

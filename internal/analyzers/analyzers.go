@@ -1,0 +1,138 @@
+// Package analyzers is the agilelint suite: go/analysis Analyzers that
+// prove, at compile time, the hygiene rules the simulator's determinism
+// guarantee rests on (DESIGN.md §"Statically enforced invariants").
+//
+// The suite runs three ways, all from the same analyzer values:
+//
+//   - go vet -vettool=$(go env GOPATH)/bin/agilelint ./...   (CI, editors)
+//   - go run ./cmd/agilelint ./...                           (standalone)
+//   - TestRepoIsLintClean in this package                    (go test)
+//
+// Every analyzer has a per-line escape hatch: a comment of the form
+// //lint:<analyzer> <justification> on the flagged line, or alone on the
+// line above it, suppresses the diagnostic. The justification token is
+// mandatory so that suppressions explain themselves; the canonical ones
+// are documented per analyzer (e.g. //lint:maporder sorted).
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// All returns the agilelint suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Detrand, Maporder, Emitnil, Unitcheck, Tickdrift}
+}
+
+// pathHasSegment reports whether an import path contains seg as a whole
+// path segment ("agilemig/cmd/agilesim" has "cmd"; "cmdline" does not).
+func pathHasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// fileName returns the file name of the given position.
+func fileName(pass *analysis.Pass, pos token.Pos) string {
+	return pass.Fset.Position(pos).Filename
+}
+
+// inTestFile reports whether pos lies in a _test.go file (or the go
+// tool's generated _testmain.go).
+func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	name := fileName(pass, pos)
+	return strings.HasSuffix(name, "_test.go") || strings.HasSuffix(name, "_testmain.go")
+}
+
+// enclosingFile returns the *ast.File containing pos.
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// allowed reports whether the line containing pos, or the whole line
+// above it, carries a "//lint:<name> <justification>" directive.
+func allowed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	f := enclosingFile(pass, pos)
+	if f == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	prefix := "lint:" + name
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			cline := pass.Fset.Position(c.Pos()).Line
+			if cline != line && cline != line-1 {
+				continue
+			}
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, prefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, prefix)
+			// Require whitespace plus a non-empty justification token.
+			if len(rest) > 0 && (rest[0] == ' ' || rest[0] == '\t') && strings.TrimSpace(rest) != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedTypeIn reports whether t (after stripping one pointer) is a named
+// type whose defining package path ends in pkgSuffix and whose name is in
+// names. Matching by suffix keeps the analyzers testable from analysistest
+// fixtures, whose stub packages live under testdata/src.
+func namedTypeIn(t types.Type, pkgSuffix string, names ...string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), pkgSuffix) {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// useObj resolves the object an identifier or selector leaf refers to.
+func useObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"agilemig/internal/analyzers"
+)
+
+// Each analyzer has a fixture package under testdata/src holding
+// positive (// want), negative and allowlist cases; a missing or broken
+// analyzer fails these tests with "no diagnostic matching".
+
+func TestDetrand(t *testing.T) {
+	// agilemig/cmd/faketool asserts the cmd/-segment exemption: its
+	// entropy use must produce no diagnostics.
+	analysistest.Run(t, analysistest.TestData(), analyzers.Detrand,
+		"detrand", "agilemig/cmd/faketool")
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Maporder, "maporder")
+}
+
+func TestEmitnil(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Emitnil, "emitnil")
+}
+
+func TestUnitcheck(t *testing.T) {
+	// agilemig/internal/mem asserts the in-package exemption: the
+	// helpers' own raw arithmetic is the one legal home for it.
+	analysistest.Run(t, analysistest.TestData(), analyzers.Unitcheck,
+		"unitcheck", "agilemig/internal/mem")
+}
+
+func TestTickdrift(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Tickdrift, "tickdrift")
+}

@@ -1,0 +1,92 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Detrand forbids ambient entropy — wall-clock time, the global math/rand
+// generator, process identity, crypto randomness — in simulator code. The
+// determinism guarantee (same seed, byte-identical output) holds only if
+// every random draw flows through a seeded *sim.RNG stream and every
+// timestamp through the engine's simulated clock; one stray time.Now()
+// breaks it silently, and only on the paths the golden diffs exercise.
+//
+// cmd/ and examples/ packages and _test.go files are exempt: they wrap
+// the simulator rather than run inside it. Escape hatch for the rare
+// legitimate use: //lint:detrand <justification>.
+var Detrand = &analysis.Analyzer{
+	Name:     "detrand",
+	Doc:      "forbid wall-clock time and ambient entropy in simulator code; use sim.RNG / the engine clock",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDetrand,
+}
+
+// forbiddenTimeFuncs are the entropy-bearing package-level functions of
+// package time. Types and constants (time.Duration, time.Millisecond)
+// remain fine: they carry no ambient state.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// allowedRandFuncs are the math/rand functions that construct explicitly
+// seeded generators rather than touching the global one.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// forbiddenOSFuncs leak process identity, a classic accidental seed.
+var forbiddenOSFuncs = map[string]bool{
+	"Getpid": true, "Getppid": true, "Hostname": true, "Environ": true,
+}
+
+func runDetrand(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if pathHasSegment(path, "cmd") || pathHasSegment(path, "examples") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return
+		}
+		if inTestFile(pass, sel.Pos()) {
+			return
+		}
+		var msg string
+		switch obj.Pkg().Path() {
+		case "time":
+			if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil && forbiddenTimeFuncs[obj.Name()] {
+				msg = "time." + obj.Name() + " is wall-clock entropy; simulated time must come from the engine (sim.Time / Engine.NowSeconds)"
+			}
+		case "math/rand", "math/rand/v2":
+			if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil && !allowedRandFuncs[obj.Name()] {
+				msg = "global math/rand state is ambient entropy; draw from a seeded *sim.RNG stream instead"
+			}
+		case "os":
+			if _, ok := obj.(*types.Func); ok && forbiddenOSFuncs[obj.Name()] {
+				msg = "os." + obj.Name() + " leaks process identity into the simulation; derive identity from the scenario spec"
+			}
+		case "crypto/rand":
+			msg = "crypto/rand is non-reproducible entropy; draw from a seeded *sim.RNG stream instead"
+		}
+		if msg == "" {
+			return
+		}
+		if allowed(pass, sel.Pos(), "detrand") {
+			return
+		}
+		pass.ReportRangef(sel, "%s", msg)
+	})
+	return nil, nil
+}

@@ -1,0 +1,191 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Emitnil enforces the nil-safe wrapper pattern for observability: the
+// trace bus and metrics registry hand out handles (*trace.Trace,
+// *trace.Emitter, *metrics.Registry/Counter/Gauge/Histogram/Series)
+// whose methods all no-op on nil receivers, precisely so instrumented
+// code can call them unconditionally. A caller-side `if x != nil {
+// x.Emit(...) }` guard re-introduces the failure mode the pattern
+// removes: the guard and the wrapper drift apart (a new call site
+// forgets the check, or the check hides a path the wrapper handles
+// better), and the guarded block's behaviour silently forks between
+// traced and untraced runs. The one blessed guard is Enabled(), which
+// exists to skip fmt-argument boxing on hot paths.
+//
+// Only the pure emit-guard shape is flagged: an if with no else, whose
+// condition is nothing but nil-checks of nil-safe handles, and whose
+// body consists solely of calls, at least one a method call on the
+// guarded handle. Guards whose body mixes in other logic (report
+// layout, file creation) are presence checks — the handle's nilness is
+// then genuine information, not a redundant safety net — and stay
+// legal.
+//
+// Escape hatch: //lint:emitnil <justification> (canonical token "keep").
+var Emitnil = &analysis.Analyzer{
+	Name:     "emitnil",
+	Doc:      "observability handles are nil-safe; call them unconditionally instead of guarding with != nil",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runEmitnil,
+}
+
+// nilSafe reports whether t is (a pointer to) one of the nil-safe
+// observability types.
+func nilSafe(t types.Type) bool {
+	return namedTypeIn(t, "internal/trace", "Trace", "Emitter") ||
+		namedTypeIn(t, "internal/metrics", "Registry", "Counter", "Gauge", "Histogram", "Series")
+}
+
+func runEmitnil(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	// The wrappers themselves implement the pattern; their internal nil
+	// checks are the point.
+	if hasSuffixSegment(path, "internal/trace") || hasSuffixSegment(path, "internal/metrics") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.IfStmt)(nil)}, func(n ast.Node) {
+		ifs := n.(*ast.IfStmt)
+		if ifs.Else != nil || ifs.Init != nil || inTestFile(pass, ifs.If) {
+			return
+		}
+		guards, pure := nilGuards(pass, ifs.Cond)
+		if !pure || len(guards) == 0 || !bodyAllGuardedCalls(ifs.Body, guards) {
+			return
+		}
+		for _, guard := range guards {
+			if !receiverInBody(ifs.Body, guard) {
+				continue
+			}
+			if allowed(pass, ifs.If, "emitnil") {
+				continue
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: ifs.If, End: ifs.Cond.End(),
+				Message: types.ExprString(guard) + " is nil-safe (its methods no-op on nil); " +
+					"call it unconditionally, or guard with Enabled() on hot paths",
+			})
+			break // one report per if statement
+		}
+	})
+	return nil, nil
+}
+
+// bodyAllGuardedCalls reports whether every statement in the block is a
+// bare method call on one of the guarded handles — the shape of a guard
+// that exists only to protect emit calls. Any other statement (a counter
+// bump, a call on something else) means dropping the guard would change
+// behaviour, so the if is a presence check, not a redundant emit guard.
+func bodyAllGuardedCalls(body *ast.BlockStmt, guards []ast.Expr) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	targets := make(map[string]bool, len(guards))
+	for _, g := range guards {
+		targets[types.ExprString(unparen(g))] = true
+	}
+	for _, st := range body.List {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !targets[types.ExprString(unparen(sel.X))] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasSuffixSegment reports whether path equals suffix or ends in
+// "/"+suffix.
+func hasSuffixSegment(path, suffix string) bool {
+	return path == suffix || len(path) > len(suffix) &&
+		path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix
+}
+
+// nilGuards collects the expressions X for every `X != nil` comparison
+// of a nil-safe type reachable through &&/|| in cond. pure reports
+// whether the condition contains nothing else — every leaf is such a
+// comparison. A mixed condition (tr != nil && n > 0) means the guard
+// carries real logic and is not a redundant emit guard.
+func nilGuards(pass *analysis.Pass, cond ast.Expr) (out []ast.Expr, pure bool) {
+	pure = true
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		be, ok := unparen(e).(*ast.BinaryExpr)
+		if !ok {
+			pure = false
+			return
+		}
+		switch be.Op {
+		case token.LAND, token.LOR:
+			walk(be.X)
+			walk(be.Y)
+		case token.NEQ:
+			var x ast.Expr
+			if isNilIdent(pass, be.Y) {
+				x = be.X
+			} else if isNilIdent(pass, be.X) {
+				x = be.Y
+			}
+			if x != nil && nilSafe(pass.TypesInfo.TypeOf(x)) {
+				out = append(out, x)
+			} else {
+				pure = false
+			}
+		default:
+			pure = false
+		}
+	}
+	walk(cond)
+	return out, pure
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// receiverInBody reports whether the guarded expression appears inside
+// the block as a method-call receiver — the shape where the nil-safe
+// wrapper would have handled nil itself. Argument position is not
+// enough: an arbitrary callee taking the handle as a parameter makes no
+// nil-safety promise.
+func receiverInBody(body *ast.BlockStmt, guard ast.Expr) bool {
+	target := types.ExprString(unparen(guard))
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			types.ExprString(unparen(sel.X)) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

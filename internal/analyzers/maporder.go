@@ -1,0 +1,273 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Maporder flags `range` over a map whose body lets the (runtime-random)
+// iteration order reach simulated behaviour or output: appends to an
+// outer slice, channel sends, calls made for their side effects (state
+// mutation, trace emission, network sends), order-sensitive writes to
+// outer variables, and goroutine/defer launches. Go randomizes map order
+// per process, independent of the simulation seed, so any such loop is a
+// determinism bug even when today's golden diff happens not to catch it.
+//
+// Order-insensitive bodies stay quiet: commutative integer accumulation
+// (n += v, n++, bitwise or/and/xor), writes keyed by the loop key
+// (out[k] = f(v)), pure max/min folds, and assignments that do not
+// depend on the iteration (found = true).
+//
+// A loop that provably establishes order first (sorts keys, or proves
+// len<=1) carries //lint:maporder sorted on (or above) the range line.
+var Maporder = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flag map iteration whose order can leak into simulated state, traces or results",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMaporder,
+}
+
+func runMaporder(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return
+		}
+		// Test bodies ranging over maps assert per-entry properties; the
+		// simulated behaviour the analyzer protects is not in them.
+		if inTestFile(pass, rs.For) || allowed(pass, rs.For, "maporder") {
+			return
+		}
+		mo := &maporderLoop{pass: pass, rs: rs}
+		if reason := mo.firstLeak(); reason != "" {
+			pass.Report(analysis.Diagnostic{
+				Pos: rs.For, End: rs.X.End(),
+				Message: "map iteration order can leak into simulated behaviour (" + reason +
+					"); iterate sorted keys, or annotate //lint:maporder sorted if order provably cannot matter",
+			})
+		}
+	})
+	return nil, nil
+}
+
+type maporderLoop struct {
+	pass *analysis.Pass
+	rs   *ast.RangeStmt
+}
+
+// local reports whether the object is declared inside the loop (the
+// key/value variables or anything := / var-declared in the body).
+func (mo *maporderLoop) local(obj types.Object) bool {
+	return obj != nil && mo.rs.Pos() <= obj.Pos() && obj.Pos() <= mo.rs.End()
+}
+
+// outerIdent returns the base identifier of an assignable expression
+// (x, x.f.g, x[i] → x) if that base is declared outside the loop.
+func (mo *maporderLoop) outerIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			obj := mo.pass.TypesInfo.Uses[v]
+			if obj == nil {
+				obj = mo.pass.TypesInfo.Defs[v]
+			}
+			if obj == nil || mo.local(obj) || v.Name == "_" {
+				return nil
+			}
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesLoopState reports whether the expression mentions any loop-local
+// value (the key/value variables or body-declared ones), i.e. whether
+// its value can differ between iterations.
+func (mo *maporderLoop) usesLoopState(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if mo.local(mo.pass.TypesInfo.Uses[id]) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isLoopKey reports whether the expression is exactly the loop's key
+// variable.
+func (mo *maporderLoop) isLoopKey(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyID, ok := mo.rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return mo.pass.TypesInfo.Uses[id] != nil &&
+		mo.pass.TypesInfo.Uses[id] == mo.pass.TypesInfo.Defs[keyID]
+}
+
+// commutativeAssign reports whether an augmented assignment operator is
+// order-insensitive on the given (integer) type: +=, -=, |=, &=, ^=, *=.
+func commutativeAssign(op token.Token) bool {
+	switch op {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func isIntegerish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsBoolean|types.IsString) != 0 &&
+		b.Info()&types.IsString == 0 // string += is order-sensitive concat
+}
+
+// isBuiltin reports whether the identifier denotes the predeclared
+// builtin of that name (not a shadowing declaration).
+func (mo *maporderLoop) isBuiltin(id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	obj := mo.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return true // parser-only fallback
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// isMinMaxFold reports whether rhs is min(lhs, ...) or max(lhs, ...),
+// whose fold over a set is order-independent.
+func (mo *maporderLoop) isMinMaxFold(lhs ast.Expr, rhs ast.Expr) bool {
+	call, ok := unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || !mo.isBuiltin(id, "min") && !mo.isBuiltin(id, "max") {
+		return false
+	}
+	lhsStr := types.ExprString(unparen(lhs))
+	for _, arg := range call.Args {
+		if types.ExprString(unparen(arg)) == lhsStr {
+			return true
+		}
+	}
+	return false
+}
+
+// firstLeak walks the loop body and returns a description of the first
+// order-sensitive effect, or "".
+func (mo *maporderLoop) firstLeak() string {
+	var reason string
+	note := func(r string) { // keep the first, source-order offense
+		if reason == "" {
+			reason = r
+		}
+	}
+	ast.Inspect(mo.rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			note("sends on a channel")
+		case *ast.GoStmt:
+			note("launches goroutines in iteration order")
+		case *ast.DeferStmt:
+			note("defers run in iteration order")
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				mo.checkEffectCall(call, note)
+				return false // args examined by checkEffectCall
+			}
+		case *ast.IncDecStmt:
+			if id := mo.outerIdent(n.X); id != nil && !isIntegerish(mo.pass.TypesInfo.TypeOf(n.X)) {
+				note("accumulates non-integer state in iteration order")
+			}
+		case *ast.AssignStmt:
+			mo.checkAssign(n, note)
+		}
+		return true
+	})
+	return reason
+}
+
+// checkEffectCall handles a call executed purely for its side effects —
+// the clearest order leak: the callee (state mutation, trace emission,
+// network send, printing) observes iteration order directly.
+func (mo *maporderLoop) checkEffectCall(call *ast.CallExpr, note func(string)) {
+	// delete(m, k) with the loop key removes an order-independent set.
+	if id, ok := call.Fun.(*ast.Ident); ok && mo.isBuiltin(id, "delete") &&
+		len(call.Args) == 2 && mo.isLoopKey(call.Args[1]) {
+		return
+	}
+	note("calls " + types.ExprString(call.Fun) + " for effect in iteration order")
+}
+
+func (mo *maporderLoop) checkAssign(as *ast.AssignStmt, note func(string)) {
+	for i, lhs := range as.Lhs {
+		base := mo.outerIdent(lhs)
+		if base == nil {
+			continue // assignment to loop-local state is invisible outside
+		}
+		// Writes keyed by the loop key hit a distinct slot per iteration:
+		// the final map/slice contents are order-independent.
+		if ix, ok := unparen(lhs).(*ast.IndexExpr); ok && mo.isLoopKey(ix.Index) {
+			continue
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else {
+			rhs = as.Rhs[0]
+		}
+		switch {
+		case as.Tok == token.ASSIGN || as.Tok == token.DEFINE:
+			if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && mo.isBuiltin(id, "append") {
+					note("appends to " + types.ExprString(lhs) + " in iteration order")
+					continue
+				}
+			}
+			if mo.isMinMaxFold(lhs, rhs) {
+				continue
+			}
+			if mo.usesLoopState(rhs) || mo.usesLoopState(lhs) {
+				note("last-writer-wins assignment to " + types.ExprString(lhs) + " depends on iteration order")
+			}
+			// Assignments whose value is iteration-independent (found =
+			// true) are harmless.
+		case commutativeAssign(as.Tok):
+			if !isIntegerish(mo.pass.TypesInfo.TypeOf(lhs)) {
+				note("accumulates non-integer state into " + types.ExprString(lhs) + " in iteration order")
+			}
+			// Integer accumulation commutes; order cannot show.
+		default: // /=, <<=, etc.
+			note("order-sensitive update of " + types.ExprString(lhs))
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package analyzers_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsLintClean runs the full agilelint suite over the whole
+// repository, exactly as CI's lint job does. Any violation — say, a
+// time.Now() introduced into internal/core, or an unsorted
+// state-mutating map range in internal/vmd — fails this test with the
+// offending file:line in the output.
+func TestRepoIsLintClean(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goTool, "run", "./cmd/agilelint", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Errorf("agilelint reported violations (or failed to run): %v\n%s", err, out)
+	}
+}

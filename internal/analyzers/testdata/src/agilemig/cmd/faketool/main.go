@@ -1,0 +1,16 @@
+// Command faketool exercises detrand's cmd/ exemption: packages under a
+// cmd/ segment wrap the simulator rather than run inside it, so ambient
+// entropy is legal here and none of these lines may be flagged.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(rand.Intn(6), os.Getpid(), time.Since(start))
+}

@@ -1,0 +1,13 @@
+// Package mem is a fixture stub: unitcheck matches the PageSize constant
+// by name and package-path suffix, and exempts this package itself —
+// the raw arithmetic below must produce no diagnostics.
+package mem
+
+// PageSize is the size of one page in bytes.
+const PageSize = 4096
+
+// PagesToBytes converts a page count to bytes.
+func PagesToBytes(pages int) int64 { return int64(pages) * PageSize }
+
+// BytesToPages converts a byte count to whole pages.
+func BytesToPages(b int64) int { return int(b / PageSize) }

@@ -1,0 +1,32 @@
+// Package metrics is a fixture stub of the nil-safe metrics handles.
+package metrics
+
+// Registry hands out instruments; methods no-op on nil.
+type Registry struct{ n int }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// Counter returns a named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{}
+}
+
+// Counter counts; methods no-op on nil.
+type Counter struct{ v int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}

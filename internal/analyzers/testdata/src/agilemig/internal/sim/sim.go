@@ -1,0 +1,12 @@
+// Package sim is a fixture stub: the analyzers match these types by
+// package-path suffix, so the tick types are all tickdrift needs.
+package sim
+
+// Time is a simulation instant in ticks.
+type Time int64
+
+// Duration is a span in ticks.
+type Duration int64
+
+// Never is the sentinel "no wake scheduled".
+const Never Time = 1<<63 - 1

@@ -1,0 +1,35 @@
+// Package trace is a fixture stub of the nil-safe trace handles.
+package trace
+
+// Trace is the event bus handle; methods no-op on nil.
+type Trace struct{ events int }
+
+// Add records an event.
+func (t *Trace) Add(sec float64, kind, format string, args ...interface{}) {
+	if t == nil {
+		return
+	}
+	t.events++
+}
+
+// Emitter returns a scoped emitter.
+func (t *Trace) Emitter(scope, name string) *Emitter {
+	if t == nil {
+		return nil
+	}
+	return &Emitter{}
+}
+
+// Emitter is a scoped emit handle; methods no-op on nil.
+type Emitter struct{ events int }
+
+// Enabled is the blessed hot-path guard.
+func (e *Emitter) Enabled() bool { return e != nil }
+
+// Emitf records a formatted event.
+func (e *Emitter) Emitf(sec float64, kind, format string, args ...interface{}) {
+	if e == nil {
+		return
+	}
+	e.events++
+}

@@ -1,0 +1,49 @@
+// Package detrand holds the positive/negative/allowlist cases for the
+// detrand analyzer.
+package detrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time\.Now is wall-clock entropy`
+	time.Sleep(time.Millisecond) // want `time\.Sleep is wall-clock entropy`
+	return time.Since(start)     // want `time\.Since is wall-clock entropy`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand state is ambient entropy`
+}
+
+// seededRand builds an explicitly seeded generator: the blessed pattern,
+// no diagnostics.
+func seededRand() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func processIdentity() (int, string) {
+	pid := os.Getpid()       // want `os\.Getpid leaks process identity`
+	host, _ := os.Hostname() // want `os\.Hostname leaks process identity`
+	tmp := os.TempDir()      // plain os use is fine
+	_ = tmp
+	return pid, host
+}
+
+func cryptoEntropy(b []byte) {
+	crand.Read(b) // want `crypto/rand is non-reproducible entropy`
+}
+
+// typesAndConstsAreFine: time types and constants carry no ambient state.
+func typesAndConstsAreFine() time.Duration {
+	var d time.Duration = 3 * time.Second
+	return d
+}
+
+func allowlisted() {
+	//lint:detrand startup banner timestamp, never enters simulated state
+	_ = time.Now()
+}

@@ -1,0 +1,10 @@
+package detrand
+
+import "time"
+
+// Test files are exempt: wall-clock use in test scaffolding (timeouts,
+// benchmarks) never touches simulated state. No diagnostics here.
+func testOnlyClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

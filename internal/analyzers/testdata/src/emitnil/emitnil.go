@@ -1,0 +1,67 @@
+// Package emitnil holds the positive/negative/allowlist cases for the
+// emitnil analyzer.
+package emitnil
+
+import (
+	"agilemig/internal/metrics"
+	"agilemig/internal/trace"
+)
+
+func guardedTrace(tr *trace.Trace, now float64) {
+	if tr != nil { // want `tr is nil-safe \(its methods no-op on nil\)`
+		tr.Add(now, "migration.start", "vm %s", "vm0")
+	}
+}
+
+func guardedRegistry(reg *metrics.Registry) {
+	if reg != nil { // want `reg is nil-safe \(its methods no-op on nil\)`
+		reg.Gauge("used", func() float64 { return 0 })
+		reg.Gauge("free", func() float64 { return 0 })
+	}
+}
+
+func guardedEither(tr *trace.Trace, em *trace.Emitter, now float64) {
+	if tr != nil && em != nil { // want `tr is nil-safe \(its methods no-op on nil\)`
+		tr.Add(now, "a", "b")
+		em.Emitf(now, "a", "b")
+	}
+}
+
+// The blessed hot-path guard: Enabled() skips fmt-argument boxing.
+func enabledGuard(em *trace.Emitter, now float64, pages int) {
+	if em.Enabled() {
+		em.Emitf(now, "reclaim.batch", "evicted %d pages", pages)
+	}
+}
+
+// Presence checks stay legal: the body mixes in logic whose execution
+// must genuinely depend on whether a handle was attached.
+func presenceCheck(tr *trace.Trace, count *int) {
+	if tr != nil {
+		tr.Add(0, "a", "b")
+		*count++
+	}
+}
+
+// A mixed condition carries real logic beyond nil-safety.
+func mixedCondition(tr *trace.Trace, n int) {
+	if tr != nil && n > 0 {
+		tr.Add(0, "a", "b")
+	}
+}
+
+// A call on something other than the guarded handle would start running
+// unconditionally if the guard were dropped.
+func unrelatedCall(tr *trace.Trace, c *metrics.Counter) {
+	if tr != nil {
+		tr.Add(0, "a", "b")
+		c.Add(1)
+	}
+}
+
+func allowlisted(tr *trace.Trace) {
+	//lint:emitnil keep — symmetry with the != nil branch directly above
+	if tr != nil {
+		tr.Add(0, "a", "b")
+	}
+}

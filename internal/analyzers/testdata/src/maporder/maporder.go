@@ -1,0 +1,101 @@
+// Package maporder holds the positive/negative/allowlist cases for the
+// maporder analyzer.
+package maporder
+
+import "fmt"
+
+func appendsInOrder(m map[string]int) []string {
+	var names []string
+	for n := range m { // want `map iteration order can leak into simulated behaviour \(appends to names`
+		names = append(names, n)
+	}
+	return names
+}
+
+func sendsInOrder(m map[string]int, ch chan int) {
+	for _, v := range m { // want `map iteration order can leak into simulated behaviour \(sends on a channel`
+		ch <- v
+	}
+}
+
+func callsForEffect(m map[string]int) {
+	for n, v := range m { // want `map iteration order can leak into simulated behaviour \(calls fmt\.Println`
+		fmt.Println(n, v)
+	}
+}
+
+func lastWriterWins(m map[string]int) int {
+	var last int
+	for _, v := range m { // want `map iteration order can leak into simulated behaviour \(last-writer-wins assignment to last`
+		last = v
+	}
+	return last
+}
+
+func stringConcat(m map[string]int) string {
+	var s string
+	for n := range m { // want `map iteration order can leak into simulated behaviour \(accumulates non-integer state into s`
+		s += n
+	}
+	return s
+}
+
+// Order-insensitive bodies: commutative integer accumulation, writes
+// keyed by the loop key, min/max folds, deletes of the visited key, and
+// iteration-independent flags. No diagnostics.
+func commutativeSum(m map[string]int) (int, int) {
+	total, count := 0, 0
+	for _, v := range m {
+		total += v
+		count++
+	}
+	return total, count
+}
+
+func keyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+func maxFold(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		best = max(best, v)
+	}
+	return best
+}
+
+func deleteVisited(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func flagSet(m map[string]int) bool {
+	found := false
+	for range m {
+		found = true
+	}
+	return found
+}
+
+// shadowedDelete: the builtin exemption must not apply to a shadowing
+// local — this "delete" observes iteration order.
+func shadowedDelete(m map[string]int) {
+	delete := func(mm map[string]int, k string) { fmt.Println(k) }
+	for k := range m { // want `map iteration order can leak into simulated behaviour \(calls delete`
+		delete(m, k)
+	}
+}
+
+func allowlisted(m map[string]int) []string {
+	var names []string
+	//lint:maporder sorted by the caller before any output
+	for n := range m {
+		names = append(names, n)
+	}
+	return names
+}

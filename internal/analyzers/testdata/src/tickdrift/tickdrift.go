@@ -1,0 +1,45 @@
+// Package tickdrift holds the positive/negative/allowlist cases for the
+// tickdrift analyzer.
+package tickdrift
+
+import (
+	"time"
+
+	"agilemig/internal/sim"
+)
+
+func truncatingConversions(seconds float64, ticksPerSec float64) (sim.Time, sim.Duration, time.Duration) {
+	t := sim.Time(seconds * ticksPerSec)     // want `float value truncated into tick quantity sim\.Time`
+	d := sim.Duration(seconds * ticksPerSec) // want `float value truncated into tick quantity sim\.Duration`
+	td := time.Duration(seconds * 1e9)       // want `float value truncated into tick quantity time\.Duration`
+	return t, d, td
+}
+
+// Integer conversions and exactly-representable constants do not drift.
+func legalConversions(ticks int64) (sim.Time, sim.Duration) {
+	return sim.Time(ticks), sim.Duration(2e6)
+}
+
+func floatEquality(a, b float64) bool {
+	return a == b // want `exact float comparison \(==\) is drift-prone`
+}
+
+func floatInequality(a float64) bool {
+	return a != 1.5 // want `exact float comparison \(!=\) is drift-prone`
+}
+
+// Comparison against constant zero is the unset-sentinel idiom: exact.
+func zeroSentinel(rate float64) float64 {
+	if rate == 0 {
+		rate = 0.25
+	}
+	return rate
+}
+
+// Integer comparisons are of course fine.
+func tickComparison(a, b sim.Time) bool { return a == b }
+
+func allowlisted(a, b float64) bool {
+	//lint:tickdrift exact — snapshot comparison, both sides copied from the same value
+	return a == b
+}

@@ -1,0 +1,32 @@
+// Package unitcheck holds the positive/negative/allowlist cases for the
+// unitcheck analyzer.
+package unitcheck
+
+import "agilemig/internal/mem"
+
+func rawConversions(memBytes int64, pages int) (int, int64, int64) {
+	p := int(memBytes / mem.PageSize) // want `raw / arithmetic with mem\.PageSize`
+	b := int64(pages) * mem.PageSize  // want `raw \* arithmetic with mem\.PageSize`
+	rem := memBytes % mem.PageSize    // want `raw % arithmetic with mem\.PageSize`
+	return p, b, rem
+}
+
+func reversedOperands(pages int64) int64 {
+	return mem.PageSize * pages // want `raw \* arithmetic with mem\.PageSize`
+}
+
+// Helpers, additive uses and plain value uses are the legal shapes.
+func legalUses(memBytes int64, pages int) (int, int64, int64, int64) {
+	p := mem.BytesToPages(memBytes)
+	b := mem.PagesToBytes(pages)
+	var withHeader int64 = mem.PageSize + 64
+	ioSize := readSize(mem.PageSize)
+	return p, b, withHeader, ioSize
+}
+
+func readSize(n int64) int64 { return n }
+
+func allowlisted(memBytes int64) int64 {
+	//lint:unitcheck raw — exercising the escape hatch itself
+	return memBytes / mem.PageSize
+}

@@ -1,0 +1,141 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Tickdrift guards the integer-tick discipline of the scheduling layer:
+//
+//  1. No direct float→tick conversions. sim.Time(f), sim.Duration(f) or
+//     time.Duration(f) with a float operand truncates toward zero; two
+//     code paths that accumulate the same seconds value through
+//     different float orderings can land on adjacent ticks and diverge.
+//     The engine helpers (Engine.SecondsToTicks, sim.Ticks) centralize
+//     one rounding policy; all conversions go through them.
+//  2. No float equality (== / !=) outside package sim. Scheduling
+//     predicates comparing floats exactly work until a refactor reorders
+//     an accumulation; compare integer ticks, or use an explicit
+//     tolerance. Comparison against the constant zero is exempt: 0 is
+//     exactly representable and is the conventional "config field left
+//     unset" sentinel, which no arithmetic ever approaches.
+//
+// _test.go files are exempt (asserting exact float output is a golden
+// test's job). Escape hatch: //lint:tickdrift <justification>
+// (canonical token "exact" for intentional float equality).
+var Tickdrift = &analysis.Analyzer{
+	Name:     "tickdrift",
+	Doc:      "forbid float→tick truncation and float equality in scheduling code",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runTickdrift,
+}
+
+func runTickdrift(pass *analysis.Pass) (interface{}, error) {
+	// The sim package owns the conversion helpers and may do raw math.
+	if hasSuffixSegment(pass.Pkg.Path(), "internal/sim") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkTickConversion(pass, n)
+		case *ast.BinaryExpr:
+			checkFloatEquality(pass, n)
+		}
+	})
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// checkTickConversion flags T(floatExpr) where T is a tick-like type.
+func checkTickConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if !isTickType(tv.Type) {
+		return
+	}
+	argType := pass.TypesInfo.TypeOf(call.Args[0])
+	if !isFloat(argType) {
+		return
+	}
+	// An untyped float constant that is exactly representable (e.g.
+	// sim.Duration(2e6)) is not drift: the compiler rejects fractions.
+	if tvArg, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tvArg.Value != nil {
+		return
+	}
+	if inTestFile(pass, call.Pos()) || allowed(pass, call.Pos(), "tickdrift") {
+		return
+	}
+	pass.ReportRangef(call, "float value truncated into tick quantity %s; convert through Engine.SecondsToTicks / sim.Ticks so rounding policy stays in one place", types.ExprString(call.Fun))
+}
+
+// isTickType matches sim.Time, sim.Duration and time.Duration.
+func isTickType(t types.Type) bool {
+	if namedTypeIn(t, "internal/sim", "Time", "Duration") {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Duration"
+}
+
+// checkFloatEquality flags f1 == f2 / f1 != f2 on floats.
+func checkFloatEquality(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+		return
+	}
+	// Comparisons of two constants fold at compile time, and comparison
+	// against constant zero is the exact unset-sentinel idiom.
+	xv := constValue(pass, be.X)
+	yv := constValue(pass, be.Y)
+	if xv != nil && yv != nil {
+		return
+	}
+	if isZero(xv) || isZero(yv) {
+		return
+	}
+	if inTestFile(pass, be.Pos()) || allowed(pass, be.Pos(), "tickdrift") {
+		return
+	}
+	pass.ReportRangef(be, "exact float comparison (%s) is drift-prone in scheduling code; compare integer ticks or use a tolerance", be.Op)
+}
+
+func constValue(pass *analysis.Pass, e ast.Expr) constant.Value {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func isZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

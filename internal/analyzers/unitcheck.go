@@ -1,0 +1,64 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Unitcheck flags raw arithmetic across the pages/bytes unit boundary:
+// any multiplication, division or remainder involving mem.PageSize
+// outside package mem itself. The codebase mixes three quantities —
+// pages, bytes and ticks — and the page/byte conversions are exactly
+// where a silent factor-of-4096 (or a truncation in the wrong place)
+// slips in. The named helpers (mem.PagesToBytes, mem.BytesToPages,
+// mem.PagesToMB, mem.PagesToMiB) carry the rounding policy in one
+// place; all conversions must go through them.
+//
+// Additive uses (mem.PageSize + headerBytes) and plain value uses
+// (disk.Read(mem.PageSize, ...)) stay legal: they are byte quantities,
+// not unit conversions. _test.go files are exempt — test fixtures state
+// expected values however is clearest. Escape hatch:
+// //lint:unitcheck <justification> (canonical token "raw").
+var Unitcheck = &analysis.Analyzer{
+	Name:     "unitcheck",
+	Doc:      "page/byte conversions must use the named mem helpers, not raw PageSize arithmetic",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runUnitcheck,
+}
+
+func runUnitcheck(pass *analysis.Pass) (interface{}, error) {
+	if hasSuffixSegment(pass.Pkg.Path(), "internal/mem") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		switch be.Op {
+		case token.MUL, token.QUO, token.REM:
+		default:
+			return
+		}
+		if !isPageSize(pass, be.X) && !isPageSize(pass, be.Y) {
+			return
+		}
+		if inTestFile(pass, be.Pos()) || allowed(pass, be.Pos(), "unitcheck") {
+			return
+		}
+		pass.ReportRangef(be, "raw %s arithmetic with mem.PageSize crosses the page/byte unit boundary; use mem.PagesToBytes / mem.BytesToPages (or the MB/MiB display helpers)", be.Op)
+	})
+	return nil, nil
+}
+
+// isPageSize reports whether the expression denotes the PageSize constant
+// of the mem package.
+func isPageSize(pass *analysis.Pass, e ast.Expr) bool {
+	obj := useObj(pass, e)
+	c, ok := obj.(*types.Const)
+	return ok && c.Name() == "PageSize" && c.Pkg() != nil &&
+		hasSuffixSegment(c.Pkg().Path(), "internal/mem")
+}

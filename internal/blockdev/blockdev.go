@@ -259,6 +259,7 @@ func (d *Device) serve(budget int64, writes bool) int64 {
 	}
 	rr0, cred0 := d.rr, d.iopsCred
 	served := d.servePass(budget, writes)
+	//lint:tickdrift exact — cred0 is a snapshot of d.iopsCred; equality detects "servePass changed nothing", not a computed-value coincidence
 	if served == 0 && d.iopsCred == cred0 {
 		d.rr = rr0
 	}

@@ -138,7 +138,7 @@ func New(eng *sim.Engine, name string, table *mem.Table, backend SwapBackend, re
 		table:            table,
 		clock:            mem.NewClock(table),
 		backend:          backend,
-		reservationPages: int(reservationBytes / mem.PageSize),
+		reservationPages: mem.BytesToPages(reservationBytes),
 		maxEvictInFlight: DefaultEvictBatch,
 		waiters:          make(map[mem.PageID][]func()),
 	}
@@ -165,13 +165,13 @@ func (g *Group) Backend() SwapBackend { return g.backend }
 
 // ReservationBytes returns the current reservation.
 func (g *Group) ReservationBytes() int64 {
-	return int64(g.reservationPages) * mem.PageSize
+	return mem.PagesToBytes(g.reservationPages)
 }
 
 // SetReservationBytes adjusts the reservation; reclaim reacts from the next
 // tick (this is the knob the WSS tracker turns).
 func (g *Group) SetReservationBytes(b int64) {
-	p := int(b / mem.PageSize)
+	p := mem.BytesToPages(b)
 	if p < 1 {
 		p = 1
 	}

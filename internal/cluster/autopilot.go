@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"agilemig/internal/core"
+	"agilemig/internal/detorder"
 	"agilemig/internal/sim"
 	"agilemig/internal/wss"
 )
@@ -66,8 +67,8 @@ func (tb *Testbed) StartAutopilot(cfg AutopilotConfig) *Autopilot {
 func (a *Autopilot) Stop() {
 	a.stopped = true
 	a.trigger.Stop()
-	for _, t := range a.trackers {
-		t.Stop()
+	for _, name := range detorder.Keys(a.trackers) {
+		a.trackers[name].Stop()
 	}
 }
 

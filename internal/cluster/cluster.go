@@ -168,7 +168,7 @@ func New(cfg Config) *Testbed {
 	}
 	for i := 0; i < cfg.Intermediates; i++ {
 		nic := net.NewNIC(fmt.Sprintf("inter%d", i+1), cfg.NetBytesPerSec)
-		tb.VMD.AddServer(fmt.Sprintf("inter%d", i+1), nic, cfg.IntermediateRAMBytes/mem.PageSize)
+		tb.VMD.AddServer(fmt.Sprintf("inter%d", i+1), nic, int64(mem.BytesToPages(cfg.IntermediateRAMBytes)))
 	}
 	tb.Source.SetVMDClient(tb.VMD.NewClient("source", tb.Source.NIC(), cfg.NetLatency))
 	tb.Dest.SetVMDClient(tb.VMD.NewClient("dest", tb.Dest.NIC(), cfg.NetLatency))

@@ -149,7 +149,7 @@ func (m *Migration) startGatherPrefetch() {
 	// wakes.
 	hint := func(now sim.Time) (sim.Time, bool) {
 		if done || inFlight >= m.tun.MaxSwapInFlight ||
-			int(m.destGroup.ReservationBytes()/mem.PageSize) <= m.destTable.InRAM() {
+			mem.BytesToPages(m.destGroup.ReservationBytes()) <= m.destTable.InRAM() {
 			return sim.Never, true
 		}
 		return now + 1, true
@@ -158,7 +158,7 @@ func (m *Migration) startGatherPrefetch() {
 		if done {
 			return
 		}
-		headroom := int(m.destGroup.ReservationBytes()/mem.PageSize) - m.destTable.InRAM()
+		headroom := mem.BytesToPages(m.destGroup.ReservationBytes()) - m.destTable.InRAM()
 		for inFlight < m.tun.MaxSwapInFlight && headroom > 0 {
 			// Collect the next cluster of swapped pages.
 			var batch []mem.PageID

@@ -1,0 +1,25 @@
+// Package detorder provides deterministic iteration over Go maps. Go
+// randomizes map iteration order per process, independent of the
+// simulation seed, so any loop whose body lets that order reach
+// simulated state, traces or results is a reproducibility bug (the
+// maporder analyzer in cmd/agilelint flags them). Iterating
+// Keys(m) instead pins the order to the key ordering.
+package detorder
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns the map's keys in ascending order. The collection loop
+// below is the one blessed unsorted map iteration: its only effect is
+// building the slice that is sorted before anyone can observe it.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	//lint:maporder sorted immediately below, before any caller observes it
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -1,0 +1,19 @@
+package detorder
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeysSorted(t *testing.T) {
+	m := map[string]int{"dest": 1, "source": 2, "inter1": 3, "inter2": 4}
+	want := []string{"dest", "inter1", "inter2", "source"}
+	for i := 0; i < 50; i++ { // map order is randomized per iteration too
+		if got := Keys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	if got := Keys(map[int]string{}); len(got) != 0 {
+		t.Fatalf("Keys(empty) = %v, want empty", got)
+	}
+}

@@ -82,7 +82,7 @@ func RunWSSTracking(cfg WSSTrackConfig) *WSSTrackResult {
 		return float64(h.VM.Group().ReservationBytes()) / float64(cluster.MiB)
 	})
 	metrics.Sample(tb.Eng, interval, res.ResidentMB, func() float64 {
-		return float64(h.VM.Table().InRAM()) * mem.PageSize / float64(cluster.MiB)
+		return mem.PagesToMiB(h.VM.Table().InRAM())
 	})
 	metrics.SampleRate(tb.Eng, interval, res.Throughput, func() float64 {
 		return float64(h.Client.OpsCompleted())

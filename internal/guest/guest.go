@@ -62,7 +62,7 @@ type pendedAccess struct {
 // New creates a VM with the given memory size. It starts suspended with the
 // default (hypervisor swap) fault handler; attach a group and call Resume.
 func New(eng *sim.Engine, name string, memBytes int64) *VM {
-	pages := int(memBytes / mem.PageSize)
+	pages := mem.BytesToPages(memBytes)
 	if pages <= 0 {
 		panic("guest: VM with no memory")
 	}

@@ -10,6 +10,7 @@ import (
 
 	"agilemig/internal/blockdev"
 	"agilemig/internal/cgroup"
+	"agilemig/internal/detorder"
 	"agilemig/internal/guest"
 	"agilemig/internal/mem"
 	"agilemig/internal/metrics"
@@ -60,8 +61,8 @@ func New(eng *sim.Engine, net *simnet.Network, cfg Config) *Host {
 		eng:      eng,
 		name:     cfg.Name,
 		nic:      net.NewNIC(cfg.Name, cfg.NetBytesPerSec),
-		ramPages: int(cfg.RAMBytes / mem.PageSize),
-		osPages:  int(cfg.OSOverheadBytes / mem.PageSize),
+		ramPages: mem.BytesToPages(cfg.RAMBytes),
+		osPages:  mem.BytesToPages(cfg.OSOverheadBytes),
 		groups:   make(map[string]*cgroup.Group),
 		vms:      make(map[string]*guest.VM),
 	}
@@ -77,10 +78,8 @@ func (h *Host) Name() string { return h.name }
 func (h *Host) SetObserver(tr *trace.Trace, reg *metrics.Registry) {
 	h.tr = tr
 	h.reg = reg
-	if reg != nil {
-		reg.Gauge(h.name+"/used.ram.pages", func() float64 { return float64(h.UsedRAMPages()) })
-		reg.Gauge(h.name+"/free.ram.pages", func() float64 { return float64(h.FreeRAMPages()) })
-	}
+	reg.Gauge(h.name+"/used.ram.pages", func() float64 { return float64(h.UsedRAMPages()) })
+	reg.Gauge(h.name+"/free.ram.pages", func() float64 { return float64(h.FreeRAMPages()) })
 	if h.swapDev != nil {
 		h.swapDev.RegisterMetrics(reg)
 	}
@@ -105,7 +104,7 @@ func (h *Host) RAMPages() int { return h.ramPages }
 // Crucial SSD).
 func (h *Host) ConfigureSharedSwap(dev blockdev.Config, partitionBytes int64) {
 	h.swapDev = blockdev.New(h.eng, dev)
-	h.swapAlloc = blockdev.NewSlotAllocator(uint32(partitionBytes / mem.PageSize))
+	h.swapAlloc = blockdev.NewSlotAllocator(uint32(mem.BytesToPages(partitionBytes)))
 	h.swapStream = h.swapDev.NewStreamWeighted("kernel-swap", 4)
 	h.migStream = h.swapDev.NewStreamWeighted("migration-readahead", 1)
 }
@@ -173,13 +172,9 @@ func (h *Host) RemoveVM(name string) {
 // Group returns the cgroup of a hosted VM, or nil.
 func (h *Host) Group(vmName string) *cgroup.Group { return h.groups[vmName] }
 
-// VMs returns the names of the VMs on this host.
+// VMs returns the names of the VMs on this host, in ascending order.
 func (h *Host) VMs() []string {
-	names := make([]string, 0, len(h.vms))
-	for n := range h.vms {
-		names = append(names, n)
-	}
-	return names
+	return detorder.Keys(h.vms)
 }
 
 // VM returns a hosted VM by name, or nil.
@@ -200,7 +195,7 @@ func (h *Host) FreeRAMPages() int { return h.ramPages - h.UsedRAMPages() }
 // FreeReservationBytes returns RAM not yet promised to any group — the
 // headroom the cluster manager can hand out when rebalancing reservations.
 func (h *Host) FreeReservationBytes() int64 {
-	free := int64(h.ramPages-h.osPages) * mem.PageSize
+	free := mem.PagesToBytes(h.ramPages - h.osPages)
 	for _, g := range h.groups {
 		free -= g.ReservationBytes()
 	}
@@ -232,7 +227,7 @@ func (b *PartitionBackend) ReadPage(_ uint32, done func()) { b.kernel.Read(mem.P
 // ReadCluster reads several slots as one device operation (swap
 // readahead): a single request's IOPS cost, the cluster's bandwidth cost.
 func (b *PartitionBackend) ReadCluster(offs []uint32, done func()) {
-	b.mig.Read(int64(len(offs))*mem.PageSize, done)
+	b.mig.Read(mem.PagesToBytes(len(offs)), done)
 }
 
 // NamespaceBackend adapts a per-VM VMD namespace to the cgroup SwapBackend

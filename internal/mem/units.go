@@ -1,0 +1,31 @@
+package mem
+
+// Unit-conversion helpers across the pages/bytes boundary. The simulator
+// mixes three quantities — pages, bytes and ticks — and the page/byte
+// conversions are exactly where a silent factor-of-4096 (or a truncation
+// on the wrong side) slips in. These helpers carry the rounding policy in
+// one place; the unitcheck analyzer (cmd/agilelint) rejects raw PageSize
+// multiplication or division anywhere outside this package.
+//
+// Each helper is the exact expression it replaced repo-wide — same types,
+// same operation order — so adopting them changes no golden output.
+
+// PagesToBytes converts a page count to bytes.
+func PagesToBytes(pages int) int64 { return int64(pages) * PageSize }
+
+// BytesToPages converts a byte count to whole pages, truncating any
+// partial page (the conversion used for capacities and reservations,
+// which must never round a partial page up into memory that does not
+// exist).
+func BytesToPages(b int64) int { return int(b / PageSize) }
+
+// PagesFloatToBytes scales a fractional page quantity (typically a
+// pages-per-second rate) to the byte domain.
+func PagesFloatToBytes(pages float64) float64 { return pages * PageSize }
+
+// PagesToMB converts a page count to decimal megabytes for display
+// (reports use SI units, matching the paper's tables).
+func PagesToMB(pages int) float64 { return float64(pages) * PageSize / 1e6 }
+
+// PagesToMiB converts a page count to binary mebibytes for display.
+func PagesToMiB(pages int) float64 { return float64(pages) * PageSize / (1 << 20) }

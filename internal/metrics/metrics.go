@@ -171,6 +171,7 @@ func RecoveryTime(s *Series, fromT, target float64, smoothWindow, sustain int) (
 
 func indexOfTime(s *Series, t float64) int {
 	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t })
+	//lint:tickdrift exact — lookup of a previously recorded timestamp, compared verbatim; no arithmetic on either side
 	if i < len(s.Points) && s.Points[i].T == t {
 		return i
 	}

@@ -30,8 +30,8 @@ func Summary(w io.Writer, tb *cluster.Testbed, tr *trace.Trace) {
 			ops = fmt.Sprintf("%d/%d", r, wr)
 		}
 		ht.Add(h.Name(),
-			fmt.Sprintf("%.1f", float64(h.UsedRAMPages())*mem.PageSize/1e6),
-			fmt.Sprintf("%.1f", float64(h.FreeRAMPages())*mem.PageSize/1e6),
+			fmt.Sprintf("%.1f", mem.PagesToMB(h.UsedRAMPages())),
+			fmt.Sprintf("%.1f", mem.PagesToMB(h.FreeRAMPages())),
 			read, written, ops)
 	}
 	fmt.Fprint(w, ht.String())
@@ -50,7 +50,7 @@ func Summary(w io.Writer, tb *cluster.Testbed, tr *trace.Trace) {
 			st := g.Stats()
 			vt.AddF(name, h.Name(),
 				fmt.Sprintf("%.1f", float64(g.ReservationBytes())/1e6),
-				fmt.Sprintf("%.1f", float64(g.Table().InRAM())*mem.PageSize/1e6),
+				fmt.Sprintf("%.1f", mem.PagesToMB(g.Table().InRAM())),
 				st.SwapOutPages, st.SwapInPages, st.SwapFullEvents)
 		}
 	}

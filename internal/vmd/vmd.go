@@ -293,9 +293,7 @@ func (s *Server) Crash() {
 	}
 	s.down = true
 	v := s.vmd
-	if v.tr != nil {
-		v.tr.Add(v.eng.NowSeconds(), trace.ServerCrash, "%s crashed (%d mem + %d disk pages lost)", s.name, s.used, s.diskUsed)
-	}
+	v.tr.Add(v.eng.NowSeconds(), trace.ServerCrash, "%s crashed (%d mem + %d disk pages lost)", s.name, s.used, s.diskUsed)
 	s.used = 0
 	s.diskUsed = 0
 	for _, ns := range v.namespaces {
@@ -312,9 +310,7 @@ func (s *Server) Restart() {
 	}
 	s.down = false
 	v := s.vmd
-	if v.tr != nil {
-		v.tr.Add(v.eng.NowSeconds(), trace.ServerRestart, "%s restarted (empty)", s.name)
-	}
+	v.tr.Add(v.eng.NowSeconds(), trace.ServerRestart, "%s restarted (empty)", s.name)
 	for _, ns := range v.namespaces {
 		ns.requeueUnderReplicated()
 	}

@@ -32,8 +32,8 @@ func NewKVStore(vm *guest.VM, offsetBytes, datasetBytes, recordBytes int64) *KVS
 	if recordBytes <= 0 || recordBytes > mem.PageSize {
 		panic("workload: record size must be in (0, PageSize]")
 	}
-	base := mem.PageID(offsetBytes / mem.PageSize)
-	pages := int(datasetBytes / mem.PageSize)
+	base := mem.PageID(mem.BytesToPages(offsetBytes))
+	pages := mem.BytesToPages(datasetBytes)
 	if int(base)+pages > vm.Pages() {
 		panic("workload: dataset does not fit in VM memory")
 	}
@@ -56,14 +56,14 @@ func (s *KVStore) Records() int64 { return s.records }
 func (s *KVStore) Pages() int { return s.pages }
 
 // DatasetBytes returns the dataset size in bytes.
-func (s *KVStore) DatasetBytes() int64 { return int64(s.pages) * mem.PageSize }
+func (s *KVStore) DatasetBytes() int64 { return mem.PagesToBytes(s.pages) }
 
 // PageOfRecord returns the guest page holding the given record.
 func (s *KVStore) PageOfRecord(rec int64) mem.PageID {
 	if rec < 0 || rec >= s.records {
 		panic("workload: record out of range")
 	}
-	return s.basePage + mem.PageID(rec*s.recordBytes/mem.PageSize)
+	return s.basePage + mem.PageID(mem.BytesToPages(rec*s.recordBytes))
 }
 
 // Load populates the whole dataset (the "load the 9 GB Redis dataset"
@@ -264,6 +264,7 @@ func (c *Client) NextWake(now sim.Time) (sim.Time, bool) {
 	if burst := float64(c.cfg.Concurrency); next > burst {
 		next = burst
 	}
+	//lint:tickdrift exact — next is c.tokens plus a fixed per-tick increment (or the cap); inequality means accrual made progress this tick, no accumulation-order ambiguity
 	if next != c.tokens {
 		return now + 1, true
 	}

@@ -125,7 +125,7 @@ func (t *Tracker) adjust() {
 	elapsed := now - t.lastAdjust
 	t.lastAdjust = now
 	inPages, _ := t.win.Rates(t.group.Stats(), elapsed)
-	rateBytes := inPages * mem.PageSize
+	rateBytes := mem.PagesFloatToBytes(inPages)
 
 	resv := t.group.ReservationBytes()
 	var next int64
@@ -224,6 +224,7 @@ func SelectVMsToMigrate(wssBytes map[string]int64, lowWatermark int64) []string 
 	}
 	var vms []vmWSS
 	var total int64
+	//lint:maporder sorted — vms is fully sorted below (wss desc, name tie-break) before selection
 	for n, w := range wssBytes {
 		vms = append(vms, vmWSS{n, w})
 		total += w

@@ -1,0 +1,8 @@
+// Offline, API-compatible subset of golang.org/x/tools sufficient for the
+// agilelint analyzer suite (see README.md in this directory). The parent
+// module points here with a replace directive so the analyzers are written
+// against the canonical go/analysis API and can be rebased onto upstream
+// x/tools unchanged once the build environment has network access.
+module golang.org/x/tools
+
+go 1.22

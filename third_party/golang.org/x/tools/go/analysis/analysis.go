@@ -1,0 +1,106 @@
+// Package analysis defines the interface between a modular static
+// analysis and an analysis driver program. This is an offline,
+// API-compatible subset of golang.org/x/tools/go/analysis; see the module
+// README for what is and is not supported.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// An Analyzer describes an analysis function and its options.
+type Analyzer struct {
+	// Name of the analyzer. Must be a valid Go identifier; it is used on
+	// the command line and in diagnostics.
+	Name string
+
+	// Doc is the documentation for the analyzer. The first sentence
+	// should be a summary.
+	Doc string
+
+	// URL holds an optional link to the analyzer's documentation.
+	URL string
+
+	// Flags defines any flags accepted by the analyzer.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to a package. It returns an error if the
+	// analyzer failed, or a result of type ResultType for dependents.
+	Run func(*Pass) (interface{}, error)
+
+	// RunDespiteErrors allows the driver to invoke the analyzer even on a
+	// package that contains type errors.
+	RunDespiteErrors bool
+
+	// Requires lists analyzers whose results this one needs, available
+	// through Pass.ResultOf.
+	Requires []*Analyzer
+
+	// ResultType is the type of the optional result of the Run function.
+	ResultType reflect.Type
+
+	// FactTypes is accepted for API compatibility; this driver subset
+	// does not implement facts and rejects analyzers that declare any.
+	FactTypes []Fact
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Fact is an intermediate result of analysis, serialized across
+// packages. Unsupported by this driver subset; present for API shape.
+type Fact interface {
+	AFact() // dummy method to avoid type errors
+}
+
+// A Pass provides information to an Analyzer's Run function about the
+// package under analysis, and provides operations for reporting
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer // the identity of the current analyzer
+
+	Fset         *token.FileSet // file position information
+	Files        []*ast.File    // the abstract syntax tree of each file
+	OtherFiles   []string       // names of non-Go files of this package
+	IgnoredFiles []string       // names of ignored source files
+	Pkg          *types.Package // type information about the package
+	TypesInfo    *types.Info    // type information about the syntax trees
+	TypesSizes   types.Sizes    // function for computing sizes of types
+	TypeErrors   []types.Error  // type errors (only if RunDespiteErrors)
+
+	// Report emits a diagnostic about the package.
+	Report func(Diagnostic)
+
+	// ResultOf provides the inputs to this analysis that are required by
+	// the Requires field: the results of those analyzers on this package.
+	ResultOf map[*Analyzer]interface{}
+
+	// ReadFile returns the contents of the named file. For this offline
+	// driver it reads straight from the file system.
+	ReadFile func(filename string) ([]byte, error)
+}
+
+// Reportf is a helper that reports a Diagnostic using the formatted
+// message at the given position.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	pass.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Range is a source span: ast.Node implements it.
+type Range interface {
+	Pos() token.Pos
+	End() token.Pos
+}
+
+// ReportRangef reports a Diagnostic spanning the given source range.
+func (pass *Pass) ReportRangef(rng Range, format string, args ...interface{}) {
+	pass.Report(Diagnostic{Pos: rng.Pos(), End: rng.End(), Message: fmt.Sprintf(format, args...)})
+}
+
+func (pass *Pass) String() string {
+	return fmt.Sprintf("%s@%s", pass.Analyzer.Name, pass.Pkg.Path())
+}

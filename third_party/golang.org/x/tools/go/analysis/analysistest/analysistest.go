@@ -1,0 +1,299 @@
+// Package analysistest provides utilities for testing analyzers. Like
+// upstream, fixtures live in a GOPATH-shaped tree: Run(t, dir, a, "x")
+// loads the package in dir/src/x, applies the analyzer, and compares the
+// diagnostics against "// want" expectations in the fixture sources.
+//
+// Expectation syntax: a comment of the form
+//
+//	// want `regexp` `another`
+//
+// on a source line asserts that the analyzer reports, on that line,
+// exactly one diagnostic matching each regular expression (Go string or
+// raw-string literals). Lines without a want comment must produce no
+// diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/internal/driver"
+)
+
+// Testing is the subset of testing.T used by this package (it is a
+// distinct interface so the package does not depend on "testing").
+type Testing interface {
+	Errorf(format string, args ...interface{})
+}
+
+// A Result holds the result of applying an analyzer to a package.
+type Result struct {
+	Pass        *analysis.Pass
+	Diagnostics []analysis.Diagnostic
+	Result      interface{}
+	Err         error
+}
+
+// TestData returns the effective filename of the program's
+// "testdata" directory.
+func TestData() string {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return testdata
+}
+
+// Run applies an analysis to the packages denoted by the patterns (one
+// directory under dir/src each), checks the diagnostics against the
+// fixtures' want comments, and returns the results.
+func Run(t Testing, dir string, a *analysis.Analyzer, patterns ...string) []*Result {
+	var results []*Result
+	for _, pattern := range patterns {
+		res := runOne(t, dir, a, pattern)
+		results = append(results, res)
+	}
+	return results
+}
+
+func runOne(t Testing, dir string, a *analysis.Analyzer, pattern string) *Result {
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fset:    fset,
+		srcRoot: filepath.Join(dir, "src"),
+		pkgs:    map[string]*types.Package{},
+		std:     driver.ExportImporter(fset),
+	}
+
+	pkgDir := filepath.Join(dir, "src", filepath.FromSlash(pattern))
+	files, info, tpkg, err := loadFixturePackage(fset, imp, pkgDir, pattern)
+	if err != nil {
+		t.Errorf("loading fixture %s: %v", pattern, err)
+		return &Result{Err: err}
+	}
+
+	pkg := &driver.Package{
+		ImportPath: pattern,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		TypesSizes: driver.Sizes(),
+	}
+	diags, err := driver.Analyze(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("analyzing fixture %s: %v", pattern, err)
+		return &Result{Err: err}
+	}
+
+	checkExpectations(t, fset, files, diags)
+
+	res := &Result{}
+	for _, d := range diags {
+		res.Diagnostics = append(res.Diagnostics, d.Diagnostic)
+	}
+	return res
+}
+
+// loadFixturePackage parses and type-checks the single package in dir.
+// Files whose package clause disagrees with the majority (e.g. external
+// _test packages) are skipped.
+func loadFixturePackage(fset *token.FileSet, imp types.Importer, dir, path string) ([]*ast.File, *types.Info, *types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	// Majority package name wins; drop the rest (x-test packages).
+	count := map[string]int{}
+	for _, f := range files {
+		count[f.Name.Name]++
+	}
+	best := files[0].Name.Name
+	for name, n := range count {
+		if n > count[best] || (n == count[best] && name < best) {
+			best = name
+		}
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == best {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	info := driver.NewTypesInfo()
+	conf := types.Config{Importer: imp, Sizes: driver.Sizes()}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, info, tpkg, nil
+}
+
+// fixtureImporter resolves imports from the fixture tree (testdata/src)
+// when a directory of that name exists there, and from the host
+// toolchain's export data otherwise.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	srcRoot string
+	pkgs    map[string]*types.Package
+	std     types.Importer
+}
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(imp.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		_, _, tpkg, err := loadFixturePackage(imp.fset, imp, dir, path)
+		if err != nil {
+			return nil, err
+		}
+		imp.pkgs[path] = tpkg
+		return tpkg, nil
+	}
+	return imp.std.Import(path)
+}
+
+// expectation is one "// want" regexp at a file:line.
+type expectation struct {
+	rx       *regexp.Regexp
+	consumed bool
+}
+
+// checkExpectations compares diagnostics against the want comments.
+func checkExpectations(t Testing, fset *token.FileSet, files []*ast.File, diags []driver.Diagnostic) {
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rxs, err := parseWant(strings.TrimPrefix(text, "want"))
+				if err != nil {
+					t.Errorf("%s: invalid want comment: %v", posn, err)
+					continue
+				}
+				k := key{posn.Filename, posn.Line}
+				for _, rx := range rxs {
+					wants[k] = append(wants[k], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Posn.Filename, d.Posn.Line}
+		matched := false
+		for _, exp := range wants[k] {
+			if !exp.consumed && exp.rx.MatchString(d.Message) {
+				exp.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Posn, d.Message)
+		}
+	}
+
+	var missing []string
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.consumed {
+				missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, exp.rx))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("%s", m)
+	}
+}
+
+// parseWant extracts the sequence of quoted regular expressions from the
+// text following "want".
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var rxs []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			lit = s[1 : 1+end]
+			s = s[2+end:]
+		case '"':
+			// Find the closing quote, honoring backslash escapes.
+			i := 1
+			for i < len(s) {
+				if s[i] == '\\' {
+					i += 2
+					continue
+				}
+				if s[i] == '"' {
+					break
+				}
+				i++
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, err
+			}
+			s = s[i+1:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+		rx, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		rxs = append(rxs, rx)
+		s = strings.TrimSpace(s)
+	}
+	if len(rxs) == 0 {
+		return nil, fmt.Errorf("want comment with no expectations")
+	}
+	return rxs, nil
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import "go/token"
+
+// A Diagnostic is a message associated with a source location or range.
+//
+// An Analyzer may return a variety of diagnostics; the optional Category,
+// which should be a constant, may be used to classify them.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: end of the reported range
+	Category string    // optional
+	Message  string
+
+	// URL is the optional location of a web page that provides more
+	// detail about this diagnostic.
+	URL string
+
+	// SuggestedFixes is accepted for API compatibility; this driver
+	// subset reports but does not apply fixes.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is a code change associated with a Diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source interval [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

@@ -1,0 +1,146 @@
+// Package driver contains the shared machinery of the offline analysis
+// drivers: running a set of analyzers (with their Requires closure) over
+// one type-checked package, and loading packages without network access
+// using `go list -export` and the gc toolchain's export data.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"reflect"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath   string
+	Fset         *token.FileSet
+	Files        []*ast.File
+	OtherFiles   []string
+	IgnoredFiles []string
+	Types        *types.Package
+	TypesInfo    *types.Info
+	TypesSizes   types.Sizes
+	TypeErrors   []types.Error
+}
+
+// NewTypesInfo returns a types.Info with every map populated, as
+// analyzers expect from a driver.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+}
+
+// A Diagnostic couples an analysis.Diagnostic with the analyzer that
+// produced it and its resolved position.
+type Diagnostic struct {
+	analysis.Diagnostic
+	AnalyzerName string
+	Posn         token.Position
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Posn, d.Message, d.AnalyzerName)
+}
+
+// Analyze runs the analyzers (and, first, their transitive Requires) over
+// the package, returning the diagnostics of the requested analyzers in
+// source order. Analyzer errors abort the run.
+func Analyze(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+
+	// Topologically order the Requires closure (dependencies first).
+	var order []*analysis.Analyzer
+	seen := map[*analysis.Analyzer]bool{}
+	var visit func(a *analysis.Analyzer)
+	visit = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		order = append(order, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+
+	requested := map[*analysis.Analyzer]bool{}
+	for _, a := range analyzers {
+		requested[a] = true
+	}
+
+	var diags []Diagnostic
+	results := map[*analysis.Analyzer]interface{}{}
+	for _, a := range order {
+		a := a
+		if len(pkg.TypeErrors) > 0 && !a.RunDespiteErrors {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:     a,
+			Fset:         pkg.Fset,
+			Files:        pkg.Files,
+			OtherFiles:   pkg.OtherFiles,
+			IgnoredFiles: pkg.IgnoredFiles,
+			Pkg:          pkg.Types,
+			TypesInfo:    pkg.TypesInfo,
+			TypesSizes:   pkg.TypesSizes,
+			TypeErrors:   pkg.TypeErrors,
+			ResultOf:     map[*analysis.Analyzer]interface{}{},
+			ReadFile:     os.ReadFile,
+		}
+		for _, req := range a.Requires {
+			pass.ResultOf[req] = results[req]
+		}
+		record := requested[a]
+		pass.Report = func(d analysis.Diagnostic) {
+			if record {
+				diags = append(diags, Diagnostic{
+					Diagnostic:   d,
+					AnalyzerName: a.Name,
+					Posn:         pkg.Fset.Position(d.Pos),
+				})
+			}
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer %q failed on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		if a.ResultType != nil {
+			if got := reflect.TypeOf(res); got != a.ResultType {
+				return nil, fmt.Errorf("analyzer %q returned %v, want %v", a.Name, got, a.ResultType)
+			}
+		}
+		results[a] = res
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i].Posn, diags[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}

@@ -1,0 +1,174 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath     string
+	Dir            string
+	GoFiles        []string
+	CgoFiles       []string
+	OtherFiles     []string `json:",omitempty"`
+	SFiles         []string
+	IgnoredGoFiles []string
+	Export         string
+	DepOnly        bool
+	Standard       bool
+}
+
+const listFields = "ImportPath,Dir,GoFiles,CgoFiles,SFiles,IgnoredGoFiles,Export,DepOnly,Standard"
+
+// goList runs `go list -export -deps -json` in dir over the patterns and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-json=" + listFields, "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportCache maps import paths to gc export data files, shared by every
+// importer this process creates. go list is slow enough to be worth the
+// bother; export data itself is cached by the go build cache.
+var exportCache = struct {
+	sync.Mutex
+	m map[string]string
+}{m: map[string]string{}}
+
+func cacheExports(pkgs []*listedPackage) {
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportCache.m[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// lookupExport returns an open reader for the export data of path,
+// shelling out to go list on a cache miss (e.g. a stdlib package first
+// seen as a fixture import).
+func lookupExport(path string) (io.ReadCloser, error) {
+	exportCache.Lock()
+	file, ok := exportCache.m[path]
+	exportCache.Unlock()
+	if !ok {
+		pkgs, err := goList(".", []string{path})
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		cacheExports(pkgs)
+		exportCache.Lock()
+		file, ok = exportCache.m[path]
+		exportCache.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// ExportImporter returns a types.Importer that resolves every import
+// from gc export data, consulting the process-wide cache backed by
+// `go list -export`.
+func ExportImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", lookupExport)
+}
+
+// Sizes returns the type sizes of the host gc toolchain, which is what
+// produced the export data.
+func Sizes() types.Sizes {
+	return types.SizesFor("gc", runtime.GOARCH)
+}
+
+// Load loads, parses and type-checks the packages matching patterns
+// (relative to dir), plus nothing else: dependencies come from export
+// data, so only the matched packages get syntax trees. Test files are
+// not included; the unitchecker path (go vet) covers those.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	cacheExports(listed)
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			// Would need cgo-processed sources; none in this repo.
+			return nil, fmt.Errorf("%s: cgo packages are not supported by the offline loader", lp.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg := &Package{
+			ImportPath: lp.ImportPath,
+			Fset:       fset,
+			Files:      files,
+			OtherFiles: lp.OtherFiles,
+			TypesInfo:  NewTypesInfo(),
+			TypesSizes: Sizes(),
+		}
+		for _, name := range lp.IgnoredGoFiles {
+			pkg.IgnoredFiles = append(pkg.IgnoredFiles, filepath.Join(lp.Dir, name))
+		}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    pkg.TypesSizes,
+			Error: func(err error) {
+				if te, ok := err.(types.Error); ok {
+					pkg.TypeErrors = append(pkg.TypeErrors, te)
+				}
+			},
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, pkg.TypesInfo)
+		if err != nil && len(pkg.TypeErrors) == 0 {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		out = append(out, pkg)
+	}
+	return out, nil
+}

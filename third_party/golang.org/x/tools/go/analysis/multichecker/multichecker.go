@@ -1,0 +1,81 @@
+// Package multichecker defines the main function for an analysis driver
+// with several analyzers. The resulting binary works both standalone
+// (`agilelint ./...`, loading packages itself) and as a vet tool
+// (`go vet -vettool=agilelint ./...`, speaking the unitchecker protocol).
+package multichecker
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/internal/driver"
+	"golang.org/x/tools/go/analysis/unitchecker"
+)
+
+// Main runs the analyzers and exits: 0 for no findings, 1 for a driver
+// error, 3 for diagnostics found (matching upstream multichecker).
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	unitchecker.RegisterFlags(analyzers)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `%[1]s is a tool for static analysis of Go programs.
+
+Usage: %[1]s [-flag] [package ...]
+   or: go vet -vettool=$(which %[1]s) [package ...]
+
+Flags:
+`, progname)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	unitchecker.HandleProtocolFlags()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	// Invoked by `go vet`: single argument naming a *.cfg file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitchecker.Run(args[0], analyzers) // exits
+	}
+
+	var enabled []*analysis.Analyzer
+	for _, a := range analyzers {
+		if unitchecker.Enabled(a) {
+			enabled = append(enabled, a)
+		}
+	}
+
+	pkgs, err := driver.Load(".", args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := driver.Analyze(pkg, enabled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Posn, d.Message, d.AnalyzerName)
+			found = true
+		}
+	}
+	if found {
+		os.Exit(3)
+	}
+}

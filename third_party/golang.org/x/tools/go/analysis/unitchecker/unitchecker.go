@@ -1,0 +1,333 @@
+// Package unitchecker implements the "analysis unit" protocol that the
+// go command's vet subcommand speaks to external analysis tools named by
+// `go vet -vettool=`. The go command invokes the tool once per package
+// ("unit"), passing it the name of a JSON configuration file that
+// describes the package's source files and the export data of its
+// dependencies.
+//
+// This offline subset implements the full driver protocol (-V=full,
+// -flags, *.cfg runs, vetx outputs) but no fact serialization: the vetx
+// files it writes are empty, which is sound because the analyzers it is
+// used with declare no FactTypes.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/internal/driver"
+)
+
+// A Config describes a compilation unit to be analyzed: its package path,
+// its source files, and the locations of the export data of its
+// dependencies. The JSON schema matches the file the go command writes.
+type Config struct {
+	ID                        string // e.g. "fmt [fmt.test]"
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+var (
+	flagsFlag = false
+	jsonFlag  = false
+	fixFlag   = false
+	ctxtFlag  = -1
+)
+
+// RegisterFlags registers the driver protocol flags (-V, -flags, -json,
+// -fix, -c) plus an enable/disable boolean per analyzer, on the default
+// flag set. Main calls it; multichecker reuses it.
+func RegisterFlags(analyzers []*analysis.Analyzer) {
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	flag.BoolVar(&flagsFlag, "flags", false, "print analyzer flags in JSON")
+	flag.BoolVar(&jsonFlag, "json", false, "emit JSON output")
+	flag.BoolVar(&fixFlag, "fix", false, "apply suggested fixes (no-op in this offline driver)")
+	flag.IntVar(&ctxtFlag, "c", -1, "display offending line with this many lines of context")
+	for _, a := range analyzers {
+		a := a
+		enabled := true
+		flag.BoolVar(&enabled, a.Name, true, "enable "+a.Name+" analysis")
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+}
+
+// HandleProtocolFlags services -flags if it was passed; it must run
+// after flag.Parse. (-V exits inside its flag.Value.)
+func HandleProtocolFlags() {
+	if flagsFlag {
+		printFlags()
+		os.Exit(0)
+	}
+}
+
+// Enabled reports whether the analyzer's enable flag is still true.
+func Enabled(a *analysis.Analyzer) bool {
+	f := flag.Lookup(a.Name)
+	if f == nil {
+		return true
+	}
+	return f.Value.String() == "true"
+}
+
+// versionFlag minimally complies with the -V protocol required by the go
+// command's tool ID computation: print one line identifying the binary
+// and exit.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() interface{} { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	// This replicates x/tools' versionFlag: hash the executable so the
+	// go command's cache key changes when the tool is rebuilt.
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// printFlags emits the JSON flag description consumed by `go vet` so it
+// can validate which of its command-line flags the tool understands.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		flags = append(flags, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// Main is the main function of a vet-like analysis tool that must be
+// invoked by a build system to analyze a single package.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	RegisterFlags(analyzers)
+	flag.Parse()
+	HandleProtocolFlags()
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoking %s directly is unsupported; use "go vet -vettool=%s" (or the multichecker entry point)`, progname, progname)
+	}
+	Run(args[0], analyzers)
+}
+
+// Run reads the *.cfg file, analyzes the unit, prints diagnostics in the
+// format selected by -json, writes the (empty) vetx output, and exits.
+func Run(configFile string, analyzers []*analysis.Analyzer) {
+	cfg, err := readConfig(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// No facts means dependency units have nothing to compute for us,
+	// but the go command still expects the output file to appear.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+				log.Fatalf("writing vetx output: %v", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		os.Exit(0)
+	}
+
+	var enabled []*analysis.Analyzer
+	for _, a := range analyzers {
+		if Enabled(a) {
+			enabled = append(enabled, a)
+		}
+	}
+
+	fset := token.NewFileSet()
+	diags, err := analyzeUnit(fset, cfg, enabled)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	writeVetx()
+
+	if jsonFlag {
+		printJSONDiagnostics(cfg, diags)
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Posn, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 && !cfg.VetxOnly {
+		// The go command eliminates empty units early; guard anyway.
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func analyzeUnit(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]driver.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			if cfg.Compiler == "gccgo" && cfg.Standard[path] {
+				return nil, nil // fall back to default gccgo lookup
+			}
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	pkg := &driver.Package{
+		ImportPath:   cfg.ImportPath,
+		Fset:         fset,
+		Files:        files,
+		OtherFiles:   cfg.NonGoFiles,
+		IgnoredFiles: cfg.IgnoredFiles,
+		TypesInfo:    driver.NewTypesInfo(),
+		TypesSizes:   driver.Sizes(),
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     pkg.TypesSizes,
+	}
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, pkg.TypesInfo)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Types = tpkg
+	return driver.Analyze(pkg, analyzers)
+}
+
+// printJSONDiagnostics mirrors the go vet -json output tree:
+// {"package-id": {"analyzer": [ {posn, message}, ... ]}}.
+func printJSONDiagnostics(cfg *Config, diags []driver.Diagnostic) {
+	type jsonDiagnostic struct {
+		Category string `json:"category,omitempty"`
+		Posn     string `json:"posn"`
+		Message  string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiagnostic{}
+	for _, d := range diags {
+		byAnalyzer[d.AnalyzerName] = append(byAnalyzer[d.AnalyzerName], jsonDiagnostic{
+			Category: d.Category,
+			Posn:     d.Posn.String(),
+			Message:  d.Message,
+		})
+	}
+	id := cfg.ID
+	if id == "" {
+		id = cfg.ImportPath
+	}
+	// json.MarshalIndent sorts map keys, keeping the output stable.
+	tree := map[string]map[string][]jsonDiagnostic{id: byAnalyzer}
+	data, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"reflect"
+	"unicode"
+)
+
+// Validate reports an error if any of the analyzers are misconfigured:
+// invalid names, duplicate names, cycles in Requires, undeclared result
+// types, or (in this offline subset) declared fact types.
+func Validate(analyzers []*Analyzer) error {
+	names := make(map[string]bool)
+
+	// color: 0=white 1=grey 2=black
+	color := make(map[*Analyzer]int)
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		if a == nil {
+			return fmt.Errorf("nil *Analyzer")
+		}
+		switch color[a] {
+		case 1:
+			return fmt.Errorf("cycle detected involving analysis %q", a.Name)
+		case 2:
+			return nil
+		}
+		color[a] = 1
+		if !validIdent(a.Name) {
+			return fmt.Errorf("invalid analysis name %q", a.Name)
+		}
+		if a.Doc == "" {
+			return fmt.Errorf("analysis %q is undocumented", a.Name)
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analysis %q has nil Run", a.Name)
+		}
+		if len(a.FactTypes) > 0 {
+			return fmt.Errorf("analysis %q declares facts, which this offline driver does not support", a.Name)
+		}
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+			if req.ResultType == nil {
+				return fmt.Errorf("analysis %q requires %q, which has no ResultType", a.Name, req.Name)
+			}
+		}
+		if a.ResultType != nil && a.ResultType.Kind() == reflect.Invalid {
+			return fmt.Errorf("analysis %q has invalid ResultType", a.Name)
+		}
+		color[a] = 2
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return err
+		}
+		if names[a.Name] {
+			return fmt.Errorf("duplicate analysis name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	return nil
+}
+
+func validIdent(name string) bool {
+	for i, r := range name {
+		if !(r == '_' || unicode.IsLetter(r) || i > 0 && unicode.IsDigit(r)) {
+			return false
+		}
+	}
+	return name != ""
+}

@@ -1,0 +1,100 @@
+// Package inspector provides helper functions for traversal over the
+// syntax trees of a package, with node-type filtering. This offline
+// subset matches the golang.org/x/tools/go/ast/inspector API but uses a
+// straightforward ast.Inspect walk rather than the upstream event list;
+// for packages the size of this repository the difference is noise.
+package inspector
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// An Inspector provides methods for inspecting (traversing) the syntax
+// trees of a package.
+type Inspector struct {
+	files []*ast.File
+}
+
+// New returns an Inspector for the specified syntax trees.
+func New(files []*ast.File) *Inspector {
+	return &Inspector{files: files}
+}
+
+// typeSet is a filter over dynamic node types; nil means "all nodes".
+type typeSet map[reflect.Type]bool
+
+func newTypeSet(types []ast.Node) typeSet {
+	if len(types) == 0 {
+		return nil
+	}
+	ts := make(typeSet, len(types))
+	for _, n := range types {
+		ts[reflect.TypeOf(n)] = true
+	}
+	return ts
+}
+
+func (ts typeSet) matches(n ast.Node) bool {
+	return ts == nil || ts[reflect.TypeOf(n)]
+}
+
+// Preorder visits all the nodes of the files supplied to New in
+// depth-first order. It calls f(n) for each node n before it visits n's
+// children. The types argument, if non-empty, enables type-based
+// filtering: f is called only for nodes whose type matches an element of
+// the types slice.
+func (in *Inspector) Preorder(types []ast.Node, f func(ast.Node)) {
+	ts := newTypeSet(types)
+	for _, file := range in.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n != nil && ts.matches(n) {
+				f(n)
+			}
+			return true
+		})
+	}
+}
+
+// Nodes visits the nodes of the files supplied to New in depth-first
+// order. It calls f(n, true) for each node n before it visits n's
+// children. If f returns true, Nodes invokes f recursively for each of
+// the non-nil children of the node, followed by a call of f(n, false).
+func (in *Inspector) Nodes(types []ast.Node, f func(n ast.Node, push bool) (proceed bool)) {
+	in.WithStack(types, func(n ast.Node, push bool, _ []ast.Node) bool {
+		return f(n, push)
+	})
+}
+
+// WithStack visits nodes in a similar manner to Nodes, but it supplies
+// each call to f an additional argument, the current traversal stack.
+// The stack's first element is the outermost node, an *ast.File; its
+// last is the innermost, n.
+func (in *Inspector) WithStack(types []ast.Node, f func(n ast.Node, push bool, stack []ast.Node) (proceed bool)) {
+	ts := newTypeSet(types)
+	for _, file := range in.files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				// Pop event for the node on top of the stack.
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if ts.matches(top) {
+					f(top, false, append(stack, top))
+				}
+				return true
+			}
+			stack = append(stack, n)
+			if ts.matches(n) {
+				if !f(n, true, stack) {
+					// Subtree skipped: ast.Inspect sends no pop event
+					// when we return false, so unwind now. Upstream
+					// likewise suppresses the f(n, false) call.
+					stack = stack[:len(stack)-1]
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
