@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint vet fmt
+.PHONY: build test bench lint vet fmt
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,16 @@ build:
 test:
 	$(GO) test ./...
 
+# Re-run both BENCH_kernel.json benchmarks: the raw single-engine tick
+# rate and the 64-host sharded-cluster scaling run (1/2/4/8 shards).
+# Compare the printed numbers against the history in BENCH_kernel.json.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkEngineTicksPerSecond -benchtime 3s -count 3 ./internal/sim/
+	$(GO) test -run '^$$' -bench BenchmarkShardedClusterTicksPerSecond -count 3 ./internal/cluster/
+
 # Run the agilelint suite (detrand, maporder, emitnil, unitcheck,
-# tickdrift) over the whole repository through the vet driver — the same
+# tickdrift, shardsafe) over the whole repository through the vet
+# driver — the same
 # invocation CI's lint job uses. See DESIGN.md §"Statically enforced
 # invariants" for what each analyzer proves.
 lint:

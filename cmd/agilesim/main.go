@@ -22,7 +22,15 @@
 //	ablation   design-choice ablations (push, remote swap, placement, watermarks)
 //	quickstart one loaded VM migrated with each technique (the observability demo)
 //	recovery   Agile migration surviving a VMD server crash (K=1 vs K=2)
+//	fleet      staggered 64-host evacuation on the sharded parallel kernel
 //	all        everything above
+//
+// The -shards flag selects the parallel kernel width (cluster.Config.Shards
+// / cluster.Fleet): every experiment produces byte-identical output at any
+// -shards value and GOMAXPROCS — CI diffs exactly that matrix. The paper
+// testbed is one network-arbitration domain, so its experiments keep all
+// hosts on shard 0; the fleet experiment genuinely spreads its cells (set
+// -cells to resize it) across the shards.
 //
 // The -faults flag injects a deterministic fault schedule into the
 // quickstart runs (e.g. -faults crash:inter1@130+10,loss:source@125+5=0.2)
@@ -74,9 +82,11 @@ func main() {
 	traceBuf := flag.Int("trace-buf", trace.DefaultBusCapacity, "trace ring-buffer capacity (events)")
 	faults := flag.String("faults", "", "fault schedule for quickstart runs (crash:<srv>@<t>[+<d>],linkdown:<nic>@<t>[+<d>],loss:<nic>@<t>[+<d>][=<rate>])")
 	replicas := flag.Int("replicas", 0, "VMD replication factor for quickstart runs; for recovery, run only this K (0/1 = off)")
+	shards := flag.Int("shards", 1, "parallel-kernel shard count (1 = serial engine); results are byte-identical at any value")
+	cells := flag.Int("cells", 0, "fleet experiment: migration cells (2 hosts each; 0 = default 32)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-faults plan] [-replicas k] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-cpuprofile file] [-memprofile file] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart recovery demo report all\n")
+		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-shards n] [-faults plan] [-replicas k] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-cpuprofile file] [-memprofile file] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart recovery fleet demo report all\n")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -149,6 +159,7 @@ func main() {
 		cfg.Scale = *scale
 		cfg.Seed = *seed
 		cfg.Parallelism = *parallel
+		cfg.Shards = *shards
 		rows := experiments.RunSizeSweep(cfg)
 		experiments.PrintSizeSweep(out, rows)
 	}
@@ -223,6 +234,7 @@ func main() {
 		cfg.Trace = tr
 		cfg.Metrics = reg
 		cfg.Replicas = *replicas
+		cfg.Shards = *shards
 		if *faults != "" {
 			plan, err := sim.ParseFaultPlan(*faults)
 			if err != nil {
@@ -291,8 +303,60 @@ func main() {
 		}
 	}
 
-	if id != "quickstart" && (*traceOut != "" || *traceJSONL != "" || *metricsOut != "") {
-		fmt.Fprintln(os.Stderr, "agilesim: -trace-out/-trace-jsonl/-metrics-out attach to the quickstart experiment; ignoring")
+	runFleet := func() {
+		opt := experiments.DefaultFleetOptions()
+		opt.Cells = *cells
+		opt.Shards = *shards
+		opt.Seed = *seed
+		opt.Scale = *scale
+		opt.Observe = *traceJSONL != "" || *metricsOut != ""
+		opt.TraceCapacity = *traceBuf
+		rep := experiments.RunFleet(opt)
+		experiments.PrintFleet(out, rep)
+
+		writeFile := func(path string, write func(f *os.File) error) {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := write(f); err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim:", err)
+				os.Exit(1)
+			}
+		}
+		if csvOut != nil {
+			if err := experiments.WriteFleetCSV(csvOut, rep.Rows); err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim: csv:", err)
+			}
+		}
+		if *traceJSONL != "" {
+			// The canonical (T, scope, actor) merge of the per-cell rings:
+			// byte-identical at any -shards and GOMAXPROCS.
+			writeFile(*traceJSONL, func(f *os.File) error {
+				return trace.WriteEventsJSONL(f, rep.Fleet.MergedTraceEvents(), rep.Fleet.TraceDrops())
+			})
+		}
+		if *metricsOut != "" {
+			// Per-cell registries concatenated in cell order, equally
+			// placement-independent.
+			writeFile(*metricsOut, func(f *os.File) error {
+				for i := 0; i < len(rep.Rows); i++ {
+					if err := rep.Fleet.CellRegistry(i).WriteJSONL(f); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	}
+
+	if id != "quickstart" && id != "fleet" && (*traceOut != "" || *traceJSONL != "" || *metricsOut != "") {
+		fmt.Fprintln(os.Stderr, "agilesim: -trace-out/-trace-jsonl/-metrics-out attach to the quickstart and fleet experiments; ignoring")
+	}
+	if id == "fleet" && *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "agilesim: -trace-out (Chrome trace) attaches to the quickstart experiment; fleet writes -trace-jsonl; ignoring")
 	}
 	if id != "quickstart" && *faults != "" {
 		fmt.Fprintln(os.Stderr, "agilesim: -faults attaches to the quickstart experiment (recovery has its own schedule); ignoring")
@@ -327,7 +391,10 @@ func main() {
 		if *replicas > 1 {
 			rcfg.ReplicaFactors = []int{*replicas}
 		}
+		rcfg.Shards = *shards
 		experiments.PrintRecovery(out, experiments.RunRecovery(rcfg))
+	case "fleet":
+		runFleet()
 	case "demo", "trace":
 		runDemo()
 	case "report":

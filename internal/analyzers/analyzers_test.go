@@ -37,3 +37,10 @@ func TestUnitcheck(t *testing.T) {
 func TestTickdrift(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analyzers.Tickdrift, "tickdrift")
 }
+
+func TestShardsafe(t *testing.T) {
+	// agilemig/internal/sim asserts both halves of the kernel blessing:
+	// shard.go may use every primitive, the rest of the package may not.
+	analysistest.Run(t, analysistest.TestData(), analyzers.Shardsafe,
+		"agilemig/internal/cluster", "agilemig/internal/simnet", "agilemig/internal/sim")
+}

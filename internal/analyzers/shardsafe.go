@@ -1,0 +1,102 @@
+package analyzers
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Shardsafe fences the parallel kernel's concurrency model: inside the
+// sharded packages (internal/sim, internal/cluster, internal/simnet)
+// the ONLY legal home for goroutines, channels and the sync primitives
+// is the shard kernel itself, internal/sim/shard.go. Everything else in
+// those packages runs single-threaded within its shard and reaches
+// other shards exclusively through the timestamped mailbox API
+// (ShardLink.Send / ShardGroup.Post), which the kernel drains at
+// quiescent barriers.
+//
+// The rule exists because the determinism contract — same seed, same
+// bytes at any Shards × GOMAXPROCS — depends on every cross-shard
+// interaction being ordered by (send tick, source shard, send order).
+// An ad-hoc goroutine, shared channel, or mutex-guarded field crossing
+// shard engines reintroduces scheduler-dependent ordering that no test
+// reliably catches; flagging the primitives at the door is cheaper than
+// debugging a trace divergence.
+//
+// Flagged in the guarded packages: go statements, channel types,
+// channel sends, select statements, and imports of "sync" and
+// "sync/atomic". Exemptions: _test.go files (tests may orchestrate
+// runs concurrently; the -race suite depends on it), and the kernel
+// file shard.go in internal/sim, whose worker pool is the machinery
+// this analyzer protects. Escape hatch:
+// //lint:shardsafe <justification> (canonical token "kernel" for
+// coordinator-side plumbing that provably never touches peer shards).
+var Shardsafe = &analysis.Analyzer{
+	Name:     "shardsafe",
+	Doc:      "restrict concurrency in sharded packages to the shard kernel's mailbox API",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runShardsafe,
+}
+
+// shardsafePkg reports whether pkg is one of the guarded packages.
+// Suffix matching keeps the analyzer testable from analysistest
+// fixtures (testdata/src/agilemig/internal/...).
+func shardsafePkg(pkg string) bool {
+	return hasSuffixSegment(pkg, "internal/sim") ||
+		hasSuffixSegment(pkg, "internal/cluster") ||
+		hasSuffixSegment(pkg, "internal/simnet")
+}
+
+// isKernelFile reports whether pos lies in internal/sim/shard.go — the
+// one file allowed to own concurrency, because it IS the barrier/drain
+// machinery the rest of the rule leans on.
+func isKernelFile(pass *analysis.Pass, pos ast.Node) bool {
+	return hasSuffixSegment(pass.Pkg.Path(), "internal/sim") &&
+		filepath.Base(fileName(pass, pos.Pos())) == "shard.go"
+}
+
+func runShardsafe(pass *analysis.Pass) (interface{}, error) {
+	if !shardsafePkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	exempt := func(n ast.Node) bool {
+		return inTestFile(pass, n.Pos()) || isKernelFile(pass, n) ||
+			allowed(pass, n.Pos(), "shardsafe")
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || (path != "sync" && path != "sync/atomic") {
+				continue
+			}
+			if exempt(imp) {
+				continue
+			}
+			pass.ReportRangef(imp, "import %q in sharded package; the shard kernel (internal/sim/shard.go) owns all concurrency — cross-shard work goes through the ShardGroup mailbox", path)
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{
+		(*ast.GoStmt)(nil), (*ast.ChanType)(nil),
+		(*ast.SendStmt)(nil), (*ast.SelectStmt)(nil),
+	}, func(n ast.Node) {
+		if exempt(n) {
+			return
+		}
+		switch n.(type) {
+		case *ast.GoStmt:
+			pass.ReportRangef(n, "go statement in sharded package; cross-shard work must go through the ShardGroup mailbox (ShardLink.Send / Post), drained at barriers")
+		case *ast.ChanType:
+			pass.ReportRangef(n, "channel type in sharded package; use the ShardGroup mailbox for cross-shard delivery")
+		case *ast.SendStmt:
+			pass.ReportRangef(n, "channel send in sharded package; use the ShardGroup mailbox for cross-shard delivery")
+		case *ast.SelectStmt:
+			pass.ReportRangef(n, "select statement in sharded package; shard code is single-threaded — there is nothing deterministic to select on")
+		}
+	})
+	return nil, nil
+}

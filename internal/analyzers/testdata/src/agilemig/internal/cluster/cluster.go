@@ -1,0 +1,32 @@
+// Package cluster is a shardsafe fixture: ad-hoc concurrency in the
+// sharded packages — anything outside the kernel's mailbox API — is
+// flagged at the primitive.
+package cluster
+
+import (
+	"sync"        // want `import "sync" in sharded package`
+	"sync/atomic" // want `import "sync/atomic" in sharded package`
+)
+
+type fleet struct {
+	mu   sync.Mutex
+	done atomic.Bool
+	ch   chan int // want `channel type in sharded package`
+}
+
+func (f *fleet) run() {}
+
+func (f *fleet) bad() {
+	go f.run() // want `go statement in sharded package`
+	f.ch <- 1  // want `channel send in sharded package`
+	select {   // want `select statement in sharded package`
+	case v := <-f.ch:
+		_ = v
+	default:
+	}
+}
+
+func (f *fleet) escaped() {
+	//lint:shardsafe kernel — coordinator-side callback registration, runs before any worker starts
+	go f.run()
+}

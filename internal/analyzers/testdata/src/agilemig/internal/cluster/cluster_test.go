@@ -1,0 +1,10 @@
+// Tests are exempt: the -race suites deliberately run shard groups
+// from concurrent goroutines. No diagnostics expected in this file.
+package cluster
+
+func concurrentHarness(fns []func()) {
+	results := make(chan int, len(fns))
+	for range fns {
+		go func() { results <- 1 }()
+	}
+}

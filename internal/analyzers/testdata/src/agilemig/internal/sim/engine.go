@@ -1,0 +1,10 @@
+// engine.go asserts that the shard.go blessing is per-file, not
+// per-package: the same primitives elsewhere in internal/sim are
+// still flagged.
+package sim
+
+func drive(fns []func()) {
+	for _, fn := range fns {
+		go fn() // want `go statement in sharded package`
+	}
+}

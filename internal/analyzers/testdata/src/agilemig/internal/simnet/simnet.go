@@ -1,0 +1,9 @@
+// Package simnet is a shardsafe fixture: the network layer is owned by
+// exactly one shard and must stay single-threaded within it.
+package simnet
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want `go statement in sharded package`
+	}
+}

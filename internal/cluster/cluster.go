@@ -53,6 +53,16 @@ type Config struct {
 	// for the fast-forward equivalence tests and timing comparisons.
 	DisableFastForward bool
 
+	// Shards selects the parallel kernel: the testbed runs inside a
+	// sim.ShardGroup of this many engines (0 or 1 keeps the plain serial
+	// engine). The paper's testbed is one network-arbitration domain —
+	// simnet's max-min fairness couples every NIC — so all of its hosts
+	// stay on shard 0 regardless of the shard count and extra shards idle;
+	// results are byte-identical at any Shards and GOMAXPROCS, which the
+	// golden equivalence tests assert. Genuinely partitioned workloads
+	// (cluster.Fleet) spread their cells across the shards instead.
+	Shards int
+
 	// Replicas is the VMD replication factor K: every swapped page is
 	// stored on K distinct intermediate servers, so a server crash loses
 	// nothing while K-1 others survive. 0 or 1 disables replication (the
@@ -116,24 +126,41 @@ type Testbed struct {
 	ClientNIC *simnet.NIC
 	VMD       *vmd.VMD
 
+	// group is non-nil when Cfg.Shards > 1: Eng is then its shard-0 engine
+	// and runs are driven through the group's window scheduler.
+	group *sim.ShardGroup
+
 	vms map[string]*VMHandle
 }
 
 // New builds a testbed.
 func New(cfg Config) *Testbed {
-	eng := sim.NewEngine(cfg.Seed)
-	if cfg.DisableFastForward {
-		eng.SetFastForward(false)
+	var eng *sim.Engine
+	var group *sim.ShardGroup
+	if cfg.Shards > 1 {
+		group = sim.NewShardGroup(cfg.Seed, cfg.Shards)
+		eng = group.Engine(0)
+		if cfg.DisableFastForward {
+			for i := 0; i < group.Shards(); i++ {
+				group.Engine(i).SetFastForward(false)
+			}
+		}
+	} else {
+		eng = sim.NewEngine(cfg.Seed)
+		if cfg.DisableFastForward {
+			eng.SetFastForward(false)
+		}
 	}
 	net := simnet.New(eng)
 	if cfg.Trace != nil {
 		net.SetTrace(cfg.Trace)
 	}
 	tb := &Testbed{
-		Cfg: cfg,
-		Eng: eng,
-		Net: net,
-		vms: make(map[string]*VMHandle),
+		Cfg:   cfg,
+		Eng:   eng,
+		Net:   net,
+		group: group,
+		vms:   make(map[string]*VMHandle),
 	}
 	tb.Source = host.New(eng, net, host.Config{
 		Name: "source", RAMBytes: cfg.HostRAMBytes,
@@ -234,7 +261,17 @@ func (tb *Testbed) applyFaultPlan(plan *sim.FaultPlan) {
 }
 
 // RunSeconds advances simulated time.
-func (tb *Testbed) RunSeconds(s float64) { tb.Eng.RunSeconds(s) }
+func (tb *Testbed) RunSeconds(s float64) {
+	if tb.group != nil {
+		tb.group.RunSeconds(s)
+		return
+	}
+	tb.Eng.RunSeconds(s)
+}
+
+// ShardGroup returns the parallel kernel driving the testbed, or nil when
+// it runs on the plain serial engine (Cfg.Shards <= 1).
+func (tb *Testbed) ShardGroup() *sim.ShardGroup { return tb.group }
 
 // VMHandle bundles a deployed VM with its swap namespace, dataset, client
 // and migration state.
@@ -372,6 +409,13 @@ func (tb *Testbed) RunUntilMigrated(h *VMHandle, timeoutSeconds float64) bool {
 		panic("cluster: no migration in progress for " + h.VM.Name())
 	}
 	deadline := tb.Eng.Now() + sim.Time(tb.Eng.SecondsToTicks(timeoutSeconds))
+	if tb.group != nil {
+		// The testbed's group carries no inter-shard links (everything lives
+		// on shard 0), so the early-exit predicate is sound and shard 0's
+		// advance loop below is replayed instruction for instruction.
+		tb.group.RunWhile(deadline, func() bool { return !h.Migration.Done() })
+		return h.Migration.Done()
+	}
 	for tb.Eng.Now() < deadline && !h.Migration.Done() {
 		tb.Eng.Advance(deadline)
 	}

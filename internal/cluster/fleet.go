@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"fmt"
+
+	"agilemig/internal/blockdev"
+	"agilemig/internal/core"
+	"agilemig/internal/dist"
+	"agilemig/internal/guest"
+	"agilemig/internal/host"
+	"agilemig/internal/mem"
+	"agilemig/internal/metrics"
+	"agilemig/internal/sim"
+	"agilemig/internal/simnet"
+	"agilemig/internal/trace"
+	"agilemig/internal/vmd"
+	"agilemig/internal/workload"
+)
+
+// FleetConfig shapes a Fleet: an evacuation-scale cluster of independent
+// migration cells spread across the shards of the parallel kernel. Each
+// cell is a miniature paper testbed — source host, destination host, one
+// VMD intermediate, an external client — with its own simnet.Network:
+// simnet's max-min fairness couples every NIC of one network into a single
+// arbitration domain, so the network is the unit of shard ownership
+// (DESIGN.md §6g) and giving each cell its own keeps cells independent and
+// shardable.
+type FleetConfig struct {
+	Seed uint64
+	// Cells is the number of migration cells; each contributes two full
+	// hosts plus an intermediate, so the default 32 is a 64-host cluster.
+	Cells int
+	// Shards is the parallel kernel width (default 1, the serial
+	// reference). Cells are block-assigned: cell i lives on shard
+	// i*Shards/Cells, so concatenating per-shard output in shard order
+	// yields cell order at any shard count.
+	Shards int
+
+	HostRAMBytes         int64
+	OSOverheadBytes      int64
+	VMMemBytes           int64
+	DatasetBytes         int64
+	ReservationBytes     int64
+	IntermediateRAMBytes int64
+	NetBytesPerSec       int64
+	NetLatency           sim.Duration
+	SwapPartitionBytes   int64
+	SSD                  blockdev.Config
+
+	// ControlLatencySeconds is the one-way latency of the evacuation
+	// controller's links to the cells. It is also what bounds the
+	// kernel's lookahead (1 + latency ticks), so it sets the
+	// compute-per-barrier ratio of a parallel run.
+	ControlLatencySeconds float64
+	// StaggerSeconds separates consecutive cells' migration start commands
+	// (clamped to at least one tick).
+	StaggerSeconds float64
+	// WarmupSeconds is how long workloads run before the first start
+	// command, letting reclaim push each dataset's cold tail to swap.
+	WarmupSeconds float64
+	// SettleSeconds is how long the fleet keeps running after the last
+	// migration completes before stopping itself.
+	SettleSeconds float64
+
+	MaxOpsPerSecond float64
+	WriteFraction   float64
+
+	// Observe attaches one trace and one metrics registry per cell
+	// (disjoint per shard by construction, which the -race isolation test
+	// relies on). Merged views are deterministic at any shard count.
+	Observe bool
+	// TraceCapacity bounds each cell's ring when Observe is set (0 selects
+	// trace.DefaultCapacity).
+	TraceCapacity int
+	// MetricsSampleSeconds is the per-cell sampling interval when Observe
+	// is set (default 1 s).
+	MetricsSampleSeconds float64
+
+	DisableFastForward bool
+}
+
+// DefaultFleetConfig returns a 32-cell (64-host) evacuation sized so a
+// full run is minutes of simulated time: 64 MiB VMs with 48 MiB datasets
+// under 24 MiB reservations, swapping the overflow to a one-server VMD per
+// cell over 1 Gbps links.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{
+		Seed:                 1,
+		Cells:                32,
+		Shards:               1,
+		HostRAMBytes:         192 * MiB,
+		OSOverheadBytes:      16 * MiB,
+		VMMemBytes:           64 * MiB,
+		DatasetBytes:         48 * MiB,
+		ReservationBytes:     24 * MiB,
+		IntermediateRAMBytes: 256 * MiB,
+		NetBytesPerSec:       GbpsBytes,
+		SwapPartitionBytes:   1 * GiB,
+		SSD: blockdev.Config{
+			Name:           "cell-ssd",
+			BytesPerSecond: 90 * MiB,
+			IOPS:           10_000,
+		},
+		ControlLatencySeconds: 0.020,
+		StaggerSeconds:        0.25,
+		WarmupSeconds:         30,
+		SettleSeconds:         5,
+		MaxOpsPerSecond:       2000,
+		WriteFraction:         0.05,
+	}
+}
+
+// FleetRow is one cell's evacuation outcome. Every field is captured at a
+// deterministic simulated time on the cell's own shard, so rows are
+// byte-identical across shard counts and GOMAXPROCS.
+type FleetRow struct {
+	Cell             string
+	Shard            int
+	StartedAtSeconds float64
+	DoneAtSeconds    float64
+	TotalSeconds     float64
+	DowntimeSeconds  float64
+	BytesTransferred int64
+	OpsAtComplete    int64
+}
+
+// fleetCell is one migration cell: everything it owns lives on one shard.
+type fleetCell struct {
+	name  string
+	shard int
+	eng   *sim.Engine
+	net   *simnet.Network
+
+	src, dst  *host.Host
+	clientNIC *simnet.NIC
+	vmd       *vmd.VMD
+	vm        *guest.VM
+	ns        *vmd.Namespace
+	store     *workload.KVStore
+	client    *workload.Client
+
+	srcFlows [2]*simnet.Flow
+	dstFlows [2]*simnet.Flow
+
+	tr  *trace.Trace
+	reg *metrics.Registry
+
+	row  FleetRow
+	done bool
+}
+
+// Fleet is the assembled evacuation cluster: Cells independent migration
+// cells sharded over a sim.ShardGroup, plus an evacuation controller on
+// shard 0 that staggers the migration start commands over control links
+// and stops the run once every cell reports completion.
+type Fleet struct {
+	Cfg   FleetConfig
+	Group *sim.ShardGroup
+
+	cells     []*fleetCell
+	completed int
+}
+
+// NewFleet builds the fleet. All construction happens before the first
+// run, on the caller's goroutine.
+func NewFleet(cfg FleetConfig) *Fleet {
+	if cfg.Cells <= 0 {
+		cfg.Cells = 32
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.Cells {
+		cfg.Shards = cfg.Cells
+	}
+	g := sim.NewShardGroup(cfg.Seed, cfg.Shards)
+	if cfg.DisableFastForward {
+		for i := 0; i < g.Shards(); i++ {
+			g.Engine(i).SetFastForward(false)
+		}
+	}
+	f := &Fleet{Cfg: cfg, Group: g}
+
+	// Control links in both directions for every shard, shard 0 included:
+	// self-links count toward the lookahead bound, so the window grid —
+	// and with it every barrier and drain point — is identical whether the
+	// fleet runs on one shard or many.
+	ctrlLat := g.Engine(0).SecondsToTicks(cfg.ControlLatencySeconds)
+	if ctrlLat < 1 {
+		ctrlLat = 1
+	}
+	starts := make([]*sim.ShardLink, cfg.Shards)
+	dones := make([]*sim.ShardLink, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		starts[s] = g.Link(0, s, ctrlLat, 0)
+		dones[s] = g.Link(s, 0, ctrlLat, 0)
+	}
+
+	for i := 0; i < cfg.Cells; i++ {
+		f.cells = append(f.cells, f.buildCell(i))
+	}
+
+	// The controller: one staggered start command per cell, issued from
+	// shard 0. The completion handler is commutative (a count and a stop
+	// timer), as same-tick cross-shard arrivals drain in source-shard
+	// order — see the §6g proof obligations.
+	eng0 := g.Engine(0)
+	stagger := eng0.SecondsToTicks(cfg.StaggerSeconds)
+	if stagger < 1 {
+		stagger = 1
+	}
+	warmup := eng0.SecondsToTicks(cfg.WarmupSeconds)
+	for i, c := range f.cells {
+		c := c
+		at := sim.Time(warmup) + sim.Time(int64(i)*int64(stagger))
+		link := starts[c.shard]
+		back := dones[c.shard]
+		eng0.Schedule(at, func() {
+			link.Send(0, func() {
+				f.startCell(c, func() { back.Send(0, f.cellCompleted) })
+			})
+		})
+	}
+	return f
+}
+
+// buildCell assembles cell i on its block-assigned shard.
+func (f *Fleet) buildCell(i int) *fleetCell {
+	cfg := f.Cfg
+	c := &fleetCell{
+		name:  fmt.Sprintf("cell%03d", i),
+		shard: i * cfg.Shards / cfg.Cells,
+	}
+	c.eng = f.Group.Engine(c.shard)
+	c.row.Cell = c.name
+	c.row.Shard = c.shard
+
+	if cfg.Observe {
+		c.tr = trace.New(cfg.TraceCapacity)
+		c.reg = metrics.NewRegistry()
+	}
+
+	c.net = simnet.New(c.eng)
+	// No net.SetTrace: the network emitter's actor name is the fixed
+	// "net", which would collide across cells in a merged timeline.
+
+	ssd := cfg.SSD
+	ssd.Name = c.name + "-" + ssd.Name
+	c.src = host.New(c.eng, c.net, host.Config{
+		Name: c.name + "-src", RAMBytes: cfg.HostRAMBytes,
+		OSOverheadBytes: cfg.OSOverheadBytes, NetBytesPerSec: cfg.NetBytesPerSec,
+	})
+	c.dst = host.New(c.eng, c.net, host.Config{
+		Name: c.name + "-dst", RAMBytes: cfg.HostRAMBytes,
+		OSOverheadBytes: cfg.OSOverheadBytes, NetBytesPerSec: cfg.NetBytesPerSec,
+	})
+	c.src.ConfigureSharedSwap(ssd, cfg.SwapPartitionBytes)
+	c.dst.ConfigureSharedSwap(ssd, cfg.SwapPartitionBytes)
+	if cfg.Observe {
+		c.src.SetObserver(c.tr, c.reg)
+		c.dst.SetObserver(c.tr, c.reg)
+	}
+	c.clientNIC = c.net.NewNIC(c.name+"-clients", cfg.NetBytesPerSec)
+
+	c.vmd = vmd.New(c.eng, c.net)
+	if cfg.Observe {
+		c.vmd.SetObserver(c.tr, c.reg)
+	}
+	interNIC := c.net.NewNIC(c.name+"-inter", cfg.NetBytesPerSec)
+	c.vmd.AddServer(c.name+"-inter", interNIC, int64(mem.BytesToPages(cfg.IntermediateRAMBytes)))
+	c.src.SetVMDClient(c.vmd.NewClient(c.name+"-src", c.src.NIC(), cfg.NetLatency))
+	c.dst.SetVMDClient(c.vmd.NewClient(c.name+"-dst", c.dst.NIC(), cfg.NetLatency))
+	c.src.VMDClient().AttachSpill(c.src.SwapDevice())
+	c.dst.VMDClient().AttachSpill(c.dst.SwapDevice())
+
+	// The VM, its dataset and its per-VM VMD swap namespace (the Agile
+	// deployment, mirroring Testbed.DeployVM).
+	vmName := c.name + "-vm"
+	c.vm = guest.New(c.eng, vmName, cfg.VMMemBytes)
+	c.ns = c.vmd.CreateNamespace(vmName, c.vm.Pages())
+	c.ns.AttachTo(c.src.VMDClient())
+	c.tr.Emitter(trace.ScopeVM, vmName).
+		Emit(c.eng.NowSeconds(), trace.NamespaceAttach, "namespace attached at source (deploy)")
+	c.src.AddVM(c.vm, cfg.ReservationBytes, host.VMDSwapBackend(c.ns, c.src.VMDClient()))
+	c.vm.Resume()
+
+	offset := c.vm.MemBytes() / 32
+	offset -= offset % 4096
+	dataset := cfg.DatasetBytes
+	if offset+dataset > c.vm.MemBytes() {
+		dataset = c.vm.MemBytes() - offset
+	}
+	c.store = workload.NewKVStore(c.vm, offset, dataset, 1024)
+	c.store.Load()
+
+	wcfg := workload.YCSB()
+	wcfg.Name = c.name + "-ycsb"
+	wcfg.MaxOpsPerSecond = cfg.MaxOpsPerSecond
+	wcfg.Concurrency = 8
+	wcfg.WriteFraction = cfg.WriteFraction
+	c.srcFlows[0] = c.net.NewFlow("app:req:"+vmName, c.clientNIC, c.src.NIC(), cfg.NetLatency)
+	c.srcFlows[1] = c.net.NewFlow("app:resp:"+vmName, c.src.NIC(), c.clientNIC, cfg.NetLatency)
+	// The client stream is derived from (seed, cell name), never from a
+	// shard engine's master stream: the draw sequence is independent of
+	// construction order and of which shard the cell landed on.
+	rng := sim.NewRNG(sim.SeedForName(cfg.Seed, c.name+"/client"))
+	c.client = workload.NewClient(c.eng, wcfg, c.store, dist.NewUniform(c.store.Records()),
+		c.srcFlows[0], c.srcFlows[1], rng)
+
+	if cfg.Observe {
+		c.net.RegisterMetrics(c.reg)
+		interval := cfg.MetricsSampleSeconds
+		if interval <= 0 {
+			interval = 1
+		}
+		c.reg.StartSampling(c.eng, interval)
+	}
+	return c
+}
+
+// startCell runs on the cell's own shard when the controller's start
+// command arrives: it records the start time and launches the Agile
+// migration, wiring onDone to fire (still on the cell's shard) when the
+// migration completes.
+func (f *Fleet) startCell(c *fleetCell, onDone func()) {
+	c.row.StartedAtSeconds = c.eng.NowSeconds()
+	spec := core.Spec{
+		VM:                   c.vm,
+		Source:               c.src,
+		Dest:                 c.dst,
+		DestReservationBytes: f.Cfg.ReservationBytes,
+		DestBackend:          host.VMDSwapBackend(c.ns, c.dst.VMDClient()),
+		Namespace:            c.ns,
+		Latency:              f.Cfg.NetLatency,
+		Trace:                c.tr,
+		Metrics:              c.reg,
+		OnSwitchover: func() {
+			c.dstFlows[0] = c.net.NewFlow("app:req2:"+c.vm.Name(), c.clientNIC, c.dst.NIC(), f.Cfg.NetLatency)
+			c.dstFlows[1] = c.net.NewFlow("app:resp2:"+c.vm.Name(), c.dst.NIC(), c.clientNIC, f.Cfg.NetLatency)
+			c.client.SetFlows(c.dstFlows[0], c.dstFlows[1])
+		},
+		OnComplete: func(res *core.Result) {
+			// Everything in the row is read at the completion tick, on the
+			// cell's shard — deterministic however long the run continues.
+			c.done = true
+			c.row.DoneAtSeconds = c.eng.NowSeconds()
+			c.row.TotalSeconds = res.TotalSeconds
+			c.row.DowntimeSeconds = res.DowntimeSeconds
+			c.row.BytesTransferred = res.BytesTransferred
+			c.row.OpsAtComplete = c.client.OpsCompleted()
+			onDone()
+		},
+	}
+	core.Start(c.eng, c.net, core.Agile, spec)
+}
+
+// cellCompleted runs on shard 0 each time a cell's completion report
+// arrives over its control link; the last one arms the settle-and-stop
+// timer.
+func (f *Fleet) cellCompleted() {
+	f.completed++
+	if f.completed == len(f.cells) {
+		f.Group.Engine(0).AfterSeconds(f.Cfg.SettleSeconds, f.Group.Stop)
+	}
+}
+
+// RunEvacuation drives the whole evacuation: warmup, staggered migrations,
+// settle, stop — bounded by maxSeconds of simulated time. It reports
+// whether every cell completed.
+func (f *Fleet) RunEvacuation(maxSeconds float64) bool {
+	f.Group.RunSeconds(maxSeconds)
+	return f.completed == len(f.cells)
+}
+
+// Completed returns how many cells have reported completion.
+func (f *Fleet) Completed() int { return f.completed }
+
+// Rows returns the per-cell outcomes in cell order. Call it only between
+// runs (at a barrier), when every shard is quiescent.
+func (f *Fleet) Rows() []FleetRow {
+	rows := make([]FleetRow, len(f.cells))
+	for i, c := range f.cells {
+		rows[i] = c.row
+	}
+	return rows
+}
+
+// MergedTraceEvents returns every cell's trace merged into the canonical
+// (T, Scope, Actor) timeline — byte-identical at any shard count because
+// each actor lives in exactly one cell. Nil when the fleet was built
+// without Observe.
+func (f *Fleet) MergedTraceEvents() []trace.Event {
+	traces := make([]*trace.Trace, len(f.cells))
+	for i, c := range f.cells {
+		traces[i] = c.tr
+	}
+	return trace.MergeByTime(traces...)
+}
+
+// TraceDrops sums ring overwrites across the per-cell traces.
+func (f *Fleet) TraceDrops() int64 {
+	var d int64
+	for _, c := range f.cells {
+		d += c.tr.Drops()
+	}
+	return d
+}
+
+// CellTrace returns cell i's private trace (nil without Observe); the
+// -race sink-isolation test uses it to prove shards share no emitter.
+func (f *Fleet) CellTrace(i int) *trace.Trace { return f.cells[i].tr }
+
+// CellRegistry returns cell i's private metrics registry (nil without
+// Observe).
+func (f *Fleet) CellRegistry(i int) *metrics.Registry { return f.cells[i].reg }

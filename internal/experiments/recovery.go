@@ -39,6 +39,9 @@ type RecoveryConfig struct {
 	// paging exercises the timeout/retry path on top of the crash.
 	LossRate    float64
 	LossSeconds float64
+	// Shards selects the parallel kernel width (0/1 = serial engine);
+	// results are byte-identical at any value.
+	Shards int
 }
 
 // DefaultRecoveryConfig returns the scenario used by the `recovery`
@@ -123,6 +126,7 @@ func RunRecovery(cfg RecoveryConfig) []RecoveryResult {
 		ccfg.Intermediates = cfg.Intermediates
 		ccfg.IntermediateRAMBytes = scaleBytes(int64(k)*cfg.IntermediateMiBPerReplica*cluster.MiB, cfg.Scale)
 		ccfg.Replicas = k
+		ccfg.Shards = cfg.Shards
 		ccfg.Faults = (&sim.FaultPlan{}).CrashRestart(victim, crashAt, downFor)
 		tb := cluster.New(ccfg)
 

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"agilemig/internal/cluster"
+	"agilemig/internal/core"
+	"agilemig/internal/metrics"
+	"agilemig/internal/sim"
+	"agilemig/internal/trace"
+)
+
+// The golden shard-equivalence suite: the paper experiments must produce
+// byte-identical results, traces and metric series at every combination of
+// cluster.Config.Shards and GOMAXPROCS. The paper testbed keeps all hosts
+// on shard 0 (one network-arbitration domain), so these runs prove the
+// parallel kernel's window/barrier/drain machinery is invisible to the
+// simulation it hosts; TestFleetShardEquivalence in internal/cluster
+// proves the same for a workload genuinely spread across shards.
+
+// shardMatrix is the Shards × GOMAXPROCS grid the ISSUE's acceptance
+// criteria name; {1,1} is the serial reference the others diff against.
+var shardMatrix = []struct{ shards, procs int }{
+	{1, 1}, {1, 8}, {4, 1}, {4, 8},
+}
+
+func withProcs(procs int, fn func()) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+// quickstartOutputs runs the traced quickstart and renders every output
+// stream to bytes: per-technique results, the trace JSONL and the metrics
+// JSONL of the observed run.
+func quickstartOutputs(t *testing.T, shards int) ([]core.Result, []byte, []byte) {
+	t.Helper()
+	tr := trace.New(1 << 14)
+	reg := metrics.NewRegistry()
+	cfg := DefaultQuickstartConfig()
+	cfg.Scale = 0.05
+	cfg.Seed = 7
+	cfg.Shards = shards
+	cfg.Trace = tr
+	cfg.Metrics = reg
+	var results []core.Result
+	for _, r := range RunQuickstart(cfg) {
+		results = append(results, r.Result)
+	}
+	var tj, mj bytes.Buffer
+	if err := trace.WriteJSONL(&tj, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSONL(&mj); err != nil {
+		t.Fatal(err)
+	}
+	return results, tj.Bytes(), mj.Bytes()
+}
+
+func TestShardEquivalenceQuickstart(t *testing.T) {
+	var refResults []core.Result
+	var refTrace, refMetrics []byte
+	withProcs(1, func() { refResults, refTrace, refMetrics = quickstartOutputs(t, 1) })
+	if len(refTrace) == 0 || len(refMetrics) == 0 {
+		t.Fatalf("reference quickstart produced no observability output")
+	}
+	for _, tc := range shardMatrix[1:] {
+		var results []core.Result
+		var tj, mj []byte
+		withProcs(tc.procs, func() { results, tj, mj = quickstartOutputs(t, tc.shards) })
+		for i := range refResults {
+			if results[i] != refResults[i] {
+				t.Errorf("shards=%d procs=%d: %s result diverged:\n got %+v\nwant %+v",
+					tc.shards, tc.procs, refResults[i].Technique, results[i], refResults[i])
+			}
+		}
+		if !bytes.Equal(tj, refTrace) {
+			t.Errorf("shards=%d procs=%d: trace JSONL diverged (%d vs %d bytes)",
+				tc.shards, tc.procs, len(tj), len(refTrace))
+		}
+		if !bytes.Equal(mj, refMetrics) {
+			t.Errorf("shards=%d procs=%d: metrics JSONL diverged (%d vs %d bytes)",
+				tc.shards, tc.procs, len(mj), len(refMetrics))
+		}
+	}
+}
+
+// TestShardEquivalenceRecovery exercises the faulted path — server crash,
+// restart, and the post-switchover loss window — across the matrix. Every
+// row field (lost pages, failover reads, retries, messages lost) must
+// match the serial reference exactly.
+func TestShardEquivalenceRecovery(t *testing.T) {
+	run := func(shards int) []RecoveryResult {
+		cfg := DefaultRecoveryConfig()
+		cfg.Scale = 0.05
+		cfg.Seed = 7
+		cfg.ReplicaFactors = []int{2}
+		cfg.Shards = shards
+		return RunRecovery(cfg)
+	}
+	var ref []RecoveryResult
+	withProcs(1, func() { ref = run(1) })
+	for _, tc := range shardMatrix[1:] {
+		var got []RecoveryResult
+		withProcs(tc.procs, func() { got = run(tc.shards) })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("shards=%d procs=%d: K=%d row diverged:\n got %+v\nwant %+v",
+					tc.shards, tc.procs, ref[i].Replicas, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceSizeSweep byte-compares a slice of the fig7 sweep
+// (every technique, busy and idle, one size) across the matrix.
+func TestShardEquivalenceSizeSweep(t *testing.T) {
+	run := func(shards int) []SizeSweepRow {
+		cfg := DefaultSizeSweepConfig()
+		cfg.Scale = 0.05
+		cfg.Seed = 7
+		cfg.VMSizes = []int64{8 * cluster.GiB}
+		cfg.Parallelism = 1
+		cfg.Shards = shards
+		return RunSizeSweep(cfg)
+	}
+	var ref []SizeSweepRow
+	withProcs(1, func() { ref = run(1) })
+	for _, tc := range shardMatrix[1:] {
+		var got []SizeSweepRow
+		withProcs(tc.procs, func() { got = run(tc.shards) })
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d procs=%d: %d rows vs %d", tc.shards, tc.procs, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("shards=%d procs=%d: row %d diverged:\n got %+v\nwant %+v",
+					tc.shards, tc.procs, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestShardedTestbedStaysOnShardZero pins the ownership rule the paper
+// testbed's equivalence rests on: with Shards > 1 the assembled cluster
+// still registers every component on shard 0, and the extra shard engines
+// stay empty (they advance, but hold no state).
+func TestShardedTestbedStaysOnShardZero(t *testing.T) {
+	ccfg := cluster.DefaultConfig()
+	ccfg.Shards = 4
+	ccfg.HostRAMBytes = 512 * cluster.MiB
+	ccfg.IntermediateRAMBytes = 512 * cluster.MiB
+	tb := cluster.New(ccfg)
+	g := tb.ShardGroup()
+	if g == nil || g.Shards() != 4 {
+		t.Fatalf("expected a 4-shard group, got %v", g)
+	}
+	if tb.Eng != g.Engine(0) {
+		t.Fatalf("testbed engine is not shard 0's")
+	}
+	if g.Lookahead() != 0 {
+		t.Fatalf("testbed group should have no inter-shard links (lookahead 0), got %d", g.Lookahead())
+	}
+	tb.RunSeconds(2)
+	if tb.Eng.Now() == 0 {
+		t.Fatalf("group run did not advance shard 0")
+	}
+	for i := 0; i < g.Shards(); i++ {
+		if g.Engine(i).Now() < tb.Eng.Now() {
+			t.Fatalf("shard %d lagging: %v < %v", i, g.Engine(i).Now(), tb.Eng.Now())
+		}
+	}
+}
+
+// TestShardGroupSeedMatchesSerialEngine guards the byte-compat cornerstone:
+// shard 0 of any group replays sim.NewEngine(seed) exactly, so Shards=N
+// and Shards=1 runs share one RNG universe.
+func TestShardGroupSeedMatchesSerialEngine(t *testing.T) {
+	g := sim.NewShardGroup(99, 4)
+	e := sim.NewEngine(99)
+	for i := 0; i < 8; i++ {
+		if g.Engine(0).RNG().Uint64() != e.RNG().Uint64() {
+			t.Fatalf("shard 0 RNG diverges from serial engine at draw %d", i)
+		}
+	}
+}

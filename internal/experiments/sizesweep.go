@@ -28,6 +28,9 @@ type SizeSweepConfig struct {
 	Parallelism int
 	// DisableFastForward steps tick by tick (see cluster.Config).
 	DisableFastForward bool
+	// Shards selects the parallel kernel width per point (0/1 = serial
+	// engine); results are byte-identical at any value.
+	Shards int
 }
 
 // DefaultSizeSweepConfig returns the paper's sweep.
@@ -102,6 +105,7 @@ func runSweepPoint(cfg SizeSweepConfig, tech core.Technique, vmBytes int64, busy
 	tcfg.SwapPartitionBytes = scaleBytes(30*cluster.GiB, s)
 	tcfg.IntermediateRAMBytes = scaleBytes(32*cluster.GiB, s)
 	tcfg.DisableFastForward = cfg.DisableFastForward
+	tcfg.Shards = cfg.Shards
 	tb := cluster.New(tcfg)
 
 	agile := tech == core.Agile

@@ -328,6 +328,14 @@ func (e *Engine) idleTarget(until Time) (Time, bool) {
 	return target, true
 }
 
+// IdleTarget exposes idleTarget for coordination layers (the sharded
+// kernel's window scheduler): ok=true means every skipped tick in
+// (Now(), target) would be an exact no-op — in particular, the engine is
+// guaranteed to do no work, and so send no messages, before target.
+func (e *Engine) IdleTarget(until Time) (Time, bool) {
+	return e.idleTarget(until)
+}
+
 // Advance performs one fast-forward-aware step toward until: if every
 // component reports idle beyond the next tick, the clock first jumps so
 // that the single Step lands exactly on min(until, next event, earliest

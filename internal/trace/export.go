@@ -188,10 +188,16 @@ type JSONLSummary struct {
 // WriteJSONL writes the trace as line-delimited JSON: one JSONLEvent per
 // event, oldest first, then one JSONLSummary trailer.
 func WriteJSONL(w io.Writer, t *Trace) error {
+	return WriteEventsJSONL(w, t.Events(), t.Drops())
+}
+
+// WriteEventsJSONL writes an already-assembled event slice — typically the
+// output of MergeByTime over per-shard traces — in the WriteJSONL format.
+func WriteEventsJSONL(w io.Writer, events []Event, drops int64) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for i := 0; i < t.Len(); i++ {
-		e := t.at(i)
+	for i := range events {
+		e := &events[i]
 		rec := JSONLEvent{
 			T:      e.T,
 			Kind:   e.Kind.String(),
@@ -203,7 +209,7 @@ func WriteJSONL(w io.Writer, t *Trace) error {
 			return err
 		}
 	}
-	if err := enc.Encode(JSONLSummary{Summary: true, Events: t.Len(), Drops: t.Drops()}); err != nil {
+	if err := enc.Encode(JSONLSummary{Summary: true, Events: len(events), Drops: drops}); err != nil {
 		return err
 	}
 	return bw.Flush()

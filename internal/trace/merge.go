@@ -1,0 +1,30 @@
+package trace
+
+import "sort"
+
+// MergeByTime combines the events of several traces — typically the
+// per-shard sinks of a sharded cluster run — into one timeline in the
+// canonical order (T, Scope, Actor), keeping each trace's own event order
+// for ties beyond that. Because every actor is owned by exactly one shard
+// (so one trace), each actor's events arrive already ordered and the
+// merged order is independent of how actors were packed into shards — the
+// property the sharded kernel's byte-identical-output contract rests on.
+//
+// The inputs are not modified; nil traces are skipped.
+func MergeByTime(traces ...*Trace) []Event {
+	var out []Event
+	for _, t := range traces {
+		out = append(out, t.Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		//lint:tickdrift exact — sort comparator over recorded timestamps, compared verbatim; no arithmetic on either side
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Actor < out[j].Actor
+	})
+	return out
+}
