@@ -8,12 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# Re-run both BENCH_kernel.json benchmarks: the raw single-engine tick
-# rate and the 64-host sharded-cluster scaling run (1/2/4/8 shards).
+# Re-run the BENCH_kernel.json benchmarks: the raw single-engine tick
+# rate, the 64-host sharded-cluster scaling run (1/2/4/8 shards) and the
+# VMD demand-read path (flat vs batched+readahead store).
 # Compare the printed numbers against the history in BENCH_kernel.json.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkEngineTicksPerSecond -benchtime 3s -count 3 ./internal/sim/
 	$(GO) test -run '^$$' -bench BenchmarkShardedClusterTicksPerSecond -count 3 ./internal/cluster/
+	$(GO) test -run '^$$' -bench BenchmarkVMDDemandRead -count 3 ./internal/vmd/
 
 # Run the agilelint suite (detrand, maporder, emitnil, unitcheck,
 # tickdrift, shardsafe) over the whole repository through the vet

@@ -22,6 +22,7 @@
 //	ablation   design-choice ablations (push, remote swap, placement, watermarks)
 //	quickstart one loaded VM migrated with each technique (the observability demo)
 //	recovery   Agile migration surviving a VMD server crash (K=1 vs K=2)
+//	vmdsweep   VMD store-variant ladder (v1 flat / +batch / +prefetch / +ctier / +hash)
 //	fleet      staggered 64-host evacuation on the sharded parallel kernel
 //	all        everything above
 //
@@ -86,7 +87,7 @@ func main() {
 	cells := flag.Int("cells", 0, "fleet experiment: migration cells (2 hosts each; 0 = default 32)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-shards n] [-faults plan] [-replicas k] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-cpuprofile file] [-memprofile file] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart recovery fleet demo report all\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart recovery vmdsweep fleet demo report all\n")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -264,6 +265,11 @@ func main() {
 		if observed != nil && (tr != nil || reg != nil) {
 			fmt.Fprintln(out)
 			report.Summary(out, observed.Testbed, tr)
+		} else if observed != nil {
+			// No observability sinks: still surface the far-memory store's
+			// counters (retries, spills, failover reads, prefetch hit-rate).
+			fmt.Fprintln(out)
+			report.VMDSummary(out, observed.Testbed)
 		}
 		if tr != nil {
 			if d := tr.Drops(); d > 0 {
@@ -393,6 +399,12 @@ func main() {
 		}
 		rcfg.Shards = *shards
 		experiments.PrintRecovery(out, experiments.RunRecovery(rcfg))
+	case "vmdsweep":
+		vcfg := experiments.DefaultVMDSweepConfig()
+		vcfg.Scale = *scale
+		vcfg.Seed = *seed
+		vcfg.Shards = *shards
+		experiments.PrintVMDSweep(out, experiments.RunVMDSweep(vcfg))
 	case "fleet":
 		runFleet()
 	case "demo", "trace":

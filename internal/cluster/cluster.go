@@ -79,6 +79,10 @@ type Config struct {
 	// VMDFaultTimeoutSeconds overrides the VMD request timeout armed when
 	// Faults is non-empty (0 selects vmd.DefaultFaultTimeout).
 	VMDFaultTimeoutSeconds float64
+	// VMD selects the store's v2 mechanisms (batched transfers, readahead
+	// prefetch, tiering, consistent-hash placement). The zero value is the
+	// flat v1 store, byte-identical to builds without the field.
+	VMD vmd.StoreConfig
 
 	// Trace, when non-nil, receives events from every subsystem of the
 	// testbed: simnet flow open/close, cgroup resizes, VMD demand reads,
@@ -187,6 +191,7 @@ func New(cfg Config) *Testbed {
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		tb.VMD.SetObserver(cfg.Trace, cfg.Metrics)
 	}
+	tb.VMD.Configure(cfg.VMD)
 	if cfg.Replicas > 1 {
 		tb.VMD.SetReplicas(cfg.Replicas)
 	}
@@ -199,6 +204,11 @@ func New(cfg Config) *Testbed {
 	}
 	tb.Source.SetVMDClient(tb.VMD.NewClient("source", tb.Source.NIC(), cfg.NetLatency))
 	tb.Dest.SetVMDClient(tb.VMD.NewClient("dest", tb.Dest.NIC(), cfg.NetLatency))
+	if cfg.VMD.Tiers.Enabled {
+		// The compressed-RAM tier absorbs the migrated-to host's cold pages;
+		// bulk migration writes bypass it (their point is to leave the host).
+		tb.Dest.VMDClient().SetLocalTier(true)
+	}
 	// Pool exhaustion degrades to the writing host's local swap partition
 	// (the stream is created lazily, so fault-free runs are untouched).
 	tb.Source.VMDClient().AttachSpill(tb.Source.SwapDevice())

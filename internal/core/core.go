@@ -94,6 +94,13 @@ type Tuning struct {
 	// migration-driven swap-in brings back in a single device request
 	// (Linux swap readahead; the kernel default cluster is 8 pages).
 	SwapInCluster int
+	// BatchPages coalesces runs of consecutive same-kind pages into one
+	// wire message on the bulk paths (pre-copy rounds, active push, the
+	// scatter phase): up to this many page bodies share a single
+	// PageHeaderBytes frame (or, for scatter, a single VMD batch write).
+	// Zero or one sends page-at-a-time, byte-identical to the unbatched
+	// engine.
+	BatchPages int
 
 	// AutoConverge enables SDPS-style vCPU throttling for pre-copy (§VI:
 	// "SDPS slows down vCPUs to speed up migration of write-intensive

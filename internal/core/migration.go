@@ -272,6 +272,7 @@ func (m *Migration) pumpRound() {
 		m.cursor = p + 1
 		m.roundBM.Clear(p)
 		st := m.srcTable.State(p)
+		consumed := 1
 		switch m.tech {
 		case PreCopy:
 			if st.OnSwap() {
@@ -284,7 +285,7 @@ func (m *Migration) pumpRound() {
 				}
 				m.swapInAndSend(p, m.roundBM, false)
 			} else {
-				m.sendFullPage(p, false)
+				consumed = m.sendFullRun(p, m.roundBM, budget, false, extendNonSwap)
 			}
 		case Agile:
 			// §IV-E: consult the pagemap; swapped pages travel as offset
@@ -305,14 +306,23 @@ func (m *Migration) pumpRound() {
 			case st == mem.StateUntouched:
 				m.sendUntouchedRecord(p)
 			default:
-				m.sendFullPage(p, false)
+				consumed = m.sendFullRun(p, m.roundBM, budget, false, extendAgileFull)
 			}
 		default:
 			panic("core: pumpRound in " + m.tech.String())
 		}
-		budget--
+		budget -= consumed
 	}
 }
+
+// extendNonSwap admits any in-memory page into a full-page run (the
+// pre-copy and push predicates: everything not on the swap device streams
+// in full).
+func extendNonSwap(s mem.PageState) bool { return !s.OnSwap() }
+
+// extendAgileFull admits only resident-tier pages: in Agile's live round,
+// swapped and untouched pages travel as records, not full pages.
+func extendAgileFull(s mem.PageState) bool { return !s.OnSwap() && s != mem.StateUntouched }
 
 // pumpPush streams the post-switchover push set, swapping in at the source
 // where needed (post-copy only; Agile's push set was faulted in before
@@ -352,6 +362,7 @@ func (m *Migration) pumpPush() {
 		m.cursor = p + 1
 		m.pushBM.Clear(p)
 		st := m.srcTable.State(p)
+		consumed := 1
 		if st.OnSwap() {
 			if m.faultInFlight >= m.tun.MaxSwapInFlight {
 				m.pushBM.Set(p)
@@ -360,9 +371,9 @@ func (m *Migration) pumpPush() {
 			}
 			m.swapInAndSend(p, m.pushBM, true)
 		} else {
-			m.sendFullPage(p, true)
+			consumed = m.sendFullRun(p, m.pushBM, budget, true, extendNonSwap)
 		}
-		budget--
+		budget -= consumed
 	}
 }
 
@@ -406,10 +417,70 @@ func (m *Migration) swapInAndSend(p mem.PageID, bm *mem.Bitmap, freeAfter bool) 
 	}
 	m.srcGroup.FaultInCluster(pages, func() {
 		m.faultInFlight--
-		for _, q := range pages {
-			m.sendFullPage(q, freeAfter)
+		step := m.tun.BatchPages
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(pages); i += step {
+			j := i + step
+			if j > len(pages) {
+				j = len(pages)
+			}
+			m.sendFullPages(pages[i:j], freeAfter)
 		}
 	})
+}
+
+// sendFullRun streams a run of consecutive in-memory pages starting at p as
+// one batched message. p is already cleared from bm; the extension — bounded
+// by BatchPages, the remaining pump budget, and the extend predicate over
+// page states — clears its members and advances the cursor past them.
+// Returns the number of pages consumed (1 with batching off, taking exactly
+// the unbatched path).
+func (m *Migration) sendFullRun(p mem.PageID, bm *mem.Bitmap, budget int, freeAfter bool, extend func(mem.PageState) bool) int {
+	maxRun := m.tun.BatchPages
+	if maxRun > budget {
+		maxRun = budget
+	}
+	if maxRun <= 1 {
+		m.sendFullPage(p, freeAfter)
+		return 1
+	}
+	run := []mem.PageID{p}
+	q := p + 1
+	for int(q) < m.nPages && len(run) < maxRun && bm.Test(q) && extend(m.srcTable.State(q)) {
+		bm.Clear(q)
+		run = append(run, q)
+		q++
+	}
+	m.cursor = q
+	m.sendFullPages(run, freeAfter)
+	return len(run)
+}
+
+// sendFullPages streams a run of pages as one message: the page bodies share
+// a single header frame, and delivery lands them at the destination in run
+// order. A single-page run takes the unbatched path exactly.
+func (m *Migration) sendFullPages(run []mem.PageID, freeAfter bool) {
+	if len(run) == 1 {
+		m.sendFullPage(run[0], freeAfter)
+		return
+	}
+	m.result.PagesSent += int64(len(run))
+	batch := append([]mem.PageID(nil), run...)
+	for _, q := range batch {
+		m.srcTable.ClearDirty(q)
+	}
+	m.pushFlow.SendMessage(mem.PagesToBytes(len(batch))+m.tun.PageHeaderBytes, func() {
+		for _, q := range batch {
+			m.deliverFullPage(q)
+		}
+	})
+	if freeAfter {
+		for _, q := range batch {
+			m.freeSourcePage(q)
+		}
+	}
 }
 
 // sendFullPage streams one page; freeAfter releases the source copy (active

@@ -66,6 +66,7 @@ func (m *Migration) pumpScatter() {
 		}
 		m.cursor = p + 1
 		m.pushBM.Clear(p)
+		consumed := 1
 		switch m.srcTable.State(p) {
 		case mem.StateSwapped:
 			// Already on the per-VM swap device.
@@ -87,10 +88,53 @@ func (m *Migration) pumpScatter() {
 		case mem.StateUntouched:
 			m.sendUntouchedRecord(p)
 		default: // Resident
-			m.scatterPage(p)
+			consumed = m.scatterRun(p, budget)
 		}
-		budget--
+		budget -= consumed
 	}
+}
+
+// scatterRun scatters a run of consecutive resident pages starting at p as
+// one batched VMD write (one in-flight unit), bounded by BatchPages and the
+// remaining pump budget. Returns the number of pages consumed; with
+// batching off it scatters exactly one page the unbatched way.
+func (m *Migration) scatterRun(p mem.PageID, budget int) int {
+	maxRun := m.tun.BatchPages
+	if maxRun > budget {
+		maxRun = budget
+	}
+	if maxRun <= 1 {
+		m.scatterPage(p)
+		return 1
+	}
+	run := []mem.PageID{p}
+	q := p + 1
+	for int(q) < m.nPages && len(run) < maxRun && m.pushBM.Test(q) && m.srcTable.State(q) == mem.StateResident {
+		m.pushBM.Clear(q)
+		run = append(run, q)
+		q++
+	}
+	m.cursor = q
+	if len(run) == 1 {
+		m.scatterPage(p)
+		return 1
+	}
+	m.scatterInFlight++
+	m.result.PagesScattered += int64(len(run))
+	offs := make([]uint32, len(run))
+	for i, r := range run {
+		offs[i] = uint32(r)
+	}
+	ns := m.spec.Namespace
+	src := m.spec.Source.VMDClient()
+	ns.WriteBatch(src, offs, func() {
+		m.scatterInFlight--
+		for _, r := range run {
+			m.freeSourcePage(r)
+		}
+		m.sendScatterRecords(run)
+	})
+	return len(run)
 }
 
 // scatterPage writes one resident page into the VM's namespace through the
@@ -115,23 +159,39 @@ func (m *Migration) scatterPage(p mem.PageID) {
 func (m *Migration) sendScatterRecord(p mem.PageID, off uint32) {
 	m.result.OffsetRecords++
 	m.pushFlow.SendMessage(m.tun.RecordBytes, func() {
-		t := m.destTable
-		if t.State(p) == mem.StateUntouched {
-			t.SetSwapOffset(p, off)
-			t.SetState(p, mem.StateSwapped)
-		}
-		if ws, ok := m.pendingDemand[p]; ok {
-			// Faults were waiting for this page; it is now reachable on
-			// the swap device.
-			delete(m.pendingDemand, p)
-			m.destGroup.FaultIn(p, func() {
-				for _, w := range ws {
-					w()
-				}
-				m.maybeComplete()
-			})
+		m.deliverScatterRecord(p, off)
+	})
+}
+
+// sendScatterRecords ships one record per page of a batch-scattered run in
+// a single message (the records share the wire like the page bodies did).
+func (m *Migration) sendScatterRecords(run []mem.PageID) {
+	m.result.OffsetRecords += int64(len(run))
+	m.pushFlow.SendMessage(int64(len(run))*m.tun.RecordBytes, func() {
+		for _, p := range run {
+			m.deliverScatterRecord(p, uint32(p))
 		}
 	})
+}
+
+// deliverScatterRecord lands one swapped-bitmap record at the destination.
+func (m *Migration) deliverScatterRecord(p mem.PageID, off uint32) {
+	t := m.destTable
+	if t.State(p) == mem.StateUntouched {
+		t.SetSwapOffset(p, off)
+		t.SetState(p, mem.StateSwapped)
+	}
+	if ws, ok := m.pendingDemand[p]; ok {
+		// Faults were waiting for this page; it is now reachable on
+		// the swap device.
+		delete(m.pendingDemand, p)
+		m.destGroup.FaultIn(p, func() {
+			for _, w := range ws {
+				w()
+			}
+			m.maybeComplete()
+		})
+	}
 }
 
 // startGatherPrefetch actively pulls scattered pages into the

@@ -7,6 +7,7 @@ import (
 	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
 	"agilemig/internal/trace"
+	"agilemig/internal/vmd"
 	"agilemig/internal/workload"
 )
 
@@ -41,6 +42,10 @@ type QuickstartConfig struct {
 	// runs byte-identical to builds without fault support.
 	Faults   *sim.FaultPlan
 	Replicas int
+
+	// VMD selects the far-memory store's v2 mechanisms for every testbed;
+	// the zero value is the flat v1 store (byte-identical).
+	VMD vmd.StoreConfig
 }
 
 // DefaultQuickstartConfig returns the quickstart scenario at the given
@@ -82,6 +87,7 @@ func RunQuickstart(cfg QuickstartConfig) []QuickstartResult {
 		ccfg.Shards = cfg.Shards
 		ccfg.Faults = cfg.Faults
 		ccfg.Replicas = cfg.Replicas
+		ccfg.VMD = cfg.VMD
 		if tech == cfg.ObserveTechnique {
 			ccfg.Trace = cfg.Trace
 			ccfg.Metrics = cfg.Metrics

@@ -9,6 +9,7 @@ import (
 	"agilemig/internal/dist"
 	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
+	"agilemig/internal/vmd"
 	"agilemig/internal/workload"
 )
 
@@ -42,6 +43,9 @@ type RecoveryConfig struct {
 	// Shards selects the parallel kernel width (0/1 = serial engine);
 	// results are byte-identical at any value.
 	Shards int
+	// VMD selects the far-memory store's v2 mechanisms; the zero value is
+	// the flat v1 store (byte-identical).
+	VMD vmd.StoreConfig
 }
 
 // DefaultRecoveryConfig returns the scenario used by the `recovery`
@@ -127,6 +131,7 @@ func RunRecovery(cfg RecoveryConfig) []RecoveryResult {
 		ccfg.IntermediateRAMBytes = scaleBytes(int64(k)*cfg.IntermediateMiBPerReplica*cluster.MiB, cfg.Scale)
 		ccfg.Replicas = k
 		ccfg.Shards = cfg.Shards
+		ccfg.VMD = cfg.VMD
 		ccfg.Faults = (&sim.FaultPlan{}).CrashRestart(victim, crashAt, downFor)
 		tb := cluster.New(ccfg)
 

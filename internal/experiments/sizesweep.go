@@ -7,6 +7,7 @@ import (
 	"agilemig/internal/cluster"
 	"agilemig/internal/core"
 	"agilemig/internal/dist"
+	"agilemig/internal/vmd"
 )
 
 // SizeSweepConfig shapes the Figures 7-8 experiment: a single VM of
@@ -31,6 +32,9 @@ type SizeSweepConfig struct {
 	// Shards selects the parallel kernel width per point (0/1 = serial
 	// engine); results are byte-identical at any value.
 	Shards int
+	// VMD selects the far-memory store's v2 mechanisms; the zero value is
+	// the flat v1 store (byte-identical).
+	VMD vmd.StoreConfig
 }
 
 // DefaultSizeSweepConfig returns the paper's sweep.
@@ -106,6 +110,7 @@ func runSweepPoint(cfg SizeSweepConfig, tech core.Technique, vmBytes int64, busy
 	tcfg.IntermediateRAMBytes = scaleBytes(32*cluster.GiB, s)
 	tcfg.DisableFastForward = cfg.DisableFastForward
 	tcfg.Shards = cfg.Shards
+	tcfg.VMD = cfg.VMD
 	tb := cluster.New(tcfg)
 
 	agile := tech == core.Agile

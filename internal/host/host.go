@@ -257,14 +257,20 @@ func (b *NamespaceBackend) WritePage(off uint32, done func()) { b.ns.Write(b.cli
 func (b *NamespaceBackend) ReadPage(off uint32, done func()) { b.ns.Read(b.client, off, done) }
 
 // ReadCluster fans a batch out to the intermediate servers; done runs when
-// every page has arrived. There is no IOPS amortization on the network
-// path — the bytes dominate.
+// every page has arrived. With store batching enabled the namespace groups
+// contiguous same-server runs into single transfers (and feeds its
+// readahead detector); unbatched stores fan out page-at-a-time — there is
+// no IOPS amortization on the network path, the bytes dominate.
 func (b *NamespaceBackend) ReadCluster(offs []uint32, done func()) {
-	remaining := len(offs)
-	if remaining == 0 {
+	if len(offs) == 0 {
 		done()
 		return
 	}
+	if b.ns.BatchPages() > 1 || b.ns.ReadaheadEnabled() {
+		b.ns.ReadBatch(b.client, offs, done)
+		return
+	}
+	remaining := len(offs)
 	for _, off := range offs {
 		b.ns.Read(b.client, off, func() {
 			remaining--

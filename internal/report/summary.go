@@ -56,10 +56,59 @@ func Summary(w io.Writer, tb *cluster.Testbed, tr *trace.Trace) {
 	}
 	fmt.Fprint(w, vt.String())
 
+	VMDSummary(w, tb)
+
 	if tr != nil {
 		fmt.Fprintln(w)
 		TraceDigest(w, tr)
 	}
+}
+
+// VMDSummary prints the far-memory store's counters: per-client transfer
+// and retry totals with the read-origin breakdown, and per-namespace
+// degradation and v2-mechanism counters (spills, failover reads, prefetch
+// hit-rate, tier and rebalance activity). Quiet subsystems are elided so a
+// run without VMD traffic prints nothing extra.
+func VMDSummary(w io.Writer, tb *cluster.Testbed) {
+	clients := tb.VMD.Clients()
+	var active []string
+	ct := metrics.NewTable("VMD clients",
+		"client", "written", "read", "retries", "remote", "spill", "staged", "ctier", "zero")
+	for _, c := range clients {
+		written, read, retried := c.Stats()
+		if written == 0 && read == 0 && retried == 0 {
+			continue
+		}
+		remote, spill, staged, ctier, zero := c.ReadsByOrigin()
+		ct.AddF(c.Name(), written, read, retried, remote, spill, staged, ctier, zero)
+		active = append(active, c.Name())
+	}
+	if len(active) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, ct.String())
+
+	nt := metrics.NewTable("VMD namespaces",
+		"namespace", "stored", "spilled", "lost", "failover", "rereplicated", "prefetch hit%", "ctier", "tier d/p", "rebalanced")
+	for _, ns := range tb.VMD.Namespaces() {
+		issued, hits, misses, _ := ns.PrefetchStats()
+		hitRate := "-"
+		if issued > 0 || hits > 0 || misses > 0 {
+			total := hits + misses
+			if total > 0 {
+				hitRate = fmt.Sprintf("%.1f", 100*float64(hits)/float64(total))
+			} else {
+				hitRate = "0.0"
+			}
+		}
+		demo, promo := ns.TierStats()
+		nt.AddF(ns.Name(), ns.Stored(), ns.SpilledPages(), ns.LostPages(),
+			ns.FailoverReads(), ns.Rereplicated(), hitRate,
+			ns.CtierPages(), fmt.Sprintf("%d/%d", demo, promo), ns.Rebalanced())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, nt.String())
 }
 
 // TraceDigest prints per-kind event counts and the ring's drop counter, so

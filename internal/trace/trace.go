@@ -104,6 +104,19 @@ const (
 	// MigrationAbort marks a pre-switchover migration rolling back to the
 	// source.
 	MigrationAbort
+
+	// VMDPrefetch marks a client-side readahead window being issued against
+	// a namespace's demand-fault stream.
+	VMDPrefetch
+	// VMDPrefetchHit marks a demand read served from the client's staging
+	// cache (no network traffic).
+	VMDPrefetchHit
+	// VMDRebalance marks consistent-hash placement moving a page to its
+	// ring-preferred server after a membership change.
+	VMDRebalance
+	// VMDTierMove marks a page moving between a server's memory and disk
+	// tiers (demotion by the cold scan, or promotion on access).
+	VMDTierMove
 )
 
 // String names the kind.
@@ -175,6 +188,14 @@ func (k Kind) String() string {
 		return "demand-retry"
 	case MigrationAbort:
 		return "abort"
+	case VMDPrefetch:
+		return "vmd-prefetch"
+	case VMDPrefetchHit:
+		return "vmd-prefetch-hit"
+	case VMDRebalance:
+		return "vmd-rebalance"
+	case VMDTierMove:
+		return "vmd-tier-move"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

@@ -87,6 +87,18 @@ type VMD struct {
 	repairQ    []repairItem
 	repairBusy int
 	repairRR   int
+
+	// v2 store configuration (store.go). The zero value is exact v1
+	// behavior: single-page transfers, no prefetch, flat tier, round-robin.
+	store    StoreConfig
+	ctierCap int64 // effective compressed-tier pages per client (cap x ratio)
+	clients  []*Client
+
+	ring      []ringPoint // consistent-hash points, sorted; nil under round-robin
+	tierEpoch uint32      // coarse clock advanced by the tier scan ticker
+
+	rebalQ  []rebalanceMove
+	rebalOn bool // drip pump ticker currently registered
 }
 
 type peerKey struct{ from, to *Client }
@@ -171,6 +183,10 @@ func (c *Client) registerMetrics(reg *metrics.Registry) {
 	reg.Gauge(p+"written.pages", func() float64 { return float64(c.pagesWritten) })
 	reg.Gauge(p+"read.pages", func() float64 { return float64(c.pagesRead) })
 	reg.Gauge(p+"retries", func() float64 { return float64(c.retries) })
+	if c.vmd.store.Readahead.Enabled {
+		reg.Gauge(p+"prefetched.pages", func() float64 { return float64(c.prefetched) })
+		reg.Gauge(p+"staged.reads", func() float64 { return float64(c.reads[originStaged]) })
+	}
 }
 
 // registerMetrics exposes the namespace's degradation counters.
@@ -183,6 +199,20 @@ func (ns *Namespace) registerMetrics(reg *metrics.Registry) {
 	reg.Gauge(p+"lost.pages", func() float64 { return float64(ns.lostPages) })
 	reg.Gauge(p+"rereplicated.pages", func() float64 { return float64(ns.rereplicated) })
 	reg.Gauge(p+"failover.reads", func() float64 { return float64(ns.failoverReads) })
+	v := ns.vmd
+	if v.store.Readahead.Enabled {
+		reg.Gauge(p+"prefetch.issued", func() float64 { i, _, _, _ := ns.PrefetchStats(); return float64(i) })
+		reg.Gauge(p+"prefetch.hits", func() float64 { _, h, _, _ := ns.PrefetchStats(); return float64(h) })
+		reg.Gauge(p+"prefetch.wasted", func() float64 { _, _, _, w := ns.PrefetchStats(); return float64(w) })
+	}
+	if v.store.Tiers.Enabled {
+		reg.Gauge(p+"ctier.pages", func() float64 { return float64(ns.CtierPages()) })
+		reg.Gauge(p+"tier.demotions", func() float64 { return float64(ns.demotions) })
+		reg.Gauge(p+"tier.promotions", func() float64 { return float64(ns.promotions) })
+	}
+	if v.store.Placement == PlaceHash {
+		reg.Gauge(p+"rebalanced.pages", func() float64 { return float64(ns.rebalanced) })
+	}
 }
 
 // Server is the VMD server kernel module on one intermediate host. Memory
@@ -248,6 +278,17 @@ func (v *VMD) AddServer(name string, nic *simnet.NIC, capacityPages int64) *Serv
 	s := &Server{vmd: v, idx: int16(len(v.servers)), name: name, nic: nic, capacity: capacityPages}
 	v.servers = append(v.servers, s)
 	s.registerMetrics(v.reg)
+	// A server joining after clients exist (elastic pool growth) must be
+	// reachable: give every existing client a link to it. The default
+	// assembly order (servers first) never takes this path, keeping the
+	// v1 flow set byte-identical.
+	for _, c := range v.clients {
+		c.addLink(s)
+	}
+	if v.store.Placement == PlaceHash {
+		v.rebuildRing()
+		v.scheduleRebalance()
+	}
 	return s
 }
 
@@ -342,7 +383,47 @@ type Client struct {
 	pagesWritten int64
 	pagesRead    int64
 	retries      int64
+
+	// v2: local compressed tier opt-in (store.go) and read accounting by
+	// origin so pagesRead reconciles with the namespace degradation
+	// counters (every completed read increments exactly one origin).
+	localTier  bool
+	prefetched int64 // pages pulled ahead of demand by the readahead engine
+	reads      [originCount]int64
 }
+
+// readOrigin classifies where a completed read was served from.
+type readOrigin int
+
+const (
+	originRemote readOrigin = iota // a VMD server (memory or disk tier)
+	originSpill                    // a client's local spill disk
+	originStaged                   // the client's readahead staging cache
+	originCtier                    // a client's compressed-RAM tier
+	originZero                     // zero-fill of a lost page
+	originCount
+)
+
+// countRead records one completed read and its origin. Every path that
+// delivers a page to a reader must go through here so Stats' read count
+// equals the sum of the per-origin counters.
+func (c *Client) countRead(o readOrigin) {
+	c.pagesRead++
+	c.reads[o]++
+}
+
+// ReadsByOrigin breaks Stats' read counter down by where each page was
+// served from: remote servers, local spill disk, the readahead staging
+// cache, the compressed local tier, and zero-fill of lost pages. The five
+// values always sum to the read count Stats reports.
+func (c *Client) ReadsByOrigin() (remote, spill, staged, ctier, zero int64) {
+	return c.reads[originRemote], c.reads[originSpill], c.reads[originStaged],
+		c.reads[originCtier], c.reads[originZero]
+}
+
+// PrefetchedPages returns how many pages the readahead engine pulled into
+// the staging cache on this client (whether or not they were later used).
+func (c *Client) PrefetchedPages() int64 { return c.prefetched }
 
 // SetLoadAware toggles the placement policy: load-aware round-robin (the
 // paper's algorithm, default) skips servers that gossiped zero free
@@ -364,18 +445,26 @@ func (c *Client) spillIO() *blockdev.Stream {
 	return c.spillStream
 }
 
+// addLink wires the client to one server: a flow in each direction plus
+// the server's current free capacity as the initial gossip hint.
+func (c *Client) addLink(s *Server) {
+	v := c.vmd
+	link := &serverLink{
+		toServer:   v.net.NewFlow(fmt.Sprintf("vmd:%s->%s", c.name, s.name), c.nic, s.nic, c.latency),
+		fromServer: v.net.NewFlow(fmt.Sprintf("vmd:%s<-%s", c.name, s.name), s.nic, c.nic, c.latency),
+		freeHint:   s.freePages(),
+	}
+	c.links = append(c.links, link)
+}
+
 // NewClient creates a client on the given host NIC, with flows to and from
 // every server, and starts the capacity gossip.
 func (v *VMD) NewClient(name string, nic *simnet.NIC, latency sim.Duration) *Client {
 	c := &Client{vmd: v, name: name, nic: nic, latency: latency}
+	v.clients = append(v.clients, c)
 	c.registerMetrics(v.reg)
 	for _, s := range v.servers {
-		link := &serverLink{
-			toServer:   v.net.NewFlow(fmt.Sprintf("vmd:%s->%s", name, s.name), nic, s.nic, latency),
-			fromServer: v.net.NewFlow(fmt.Sprintf("vmd:%s<-%s", name, s.name), s.nic, nic, latency),
-			freeHint:   s.freePages(),
-		}
-		c.links = append(c.links, link)
+		c.addLink(s)
 	}
 	// Capacity gossip: each server periodically tells each client how much
 	// memory it has left. The update itself costs network bytes. Crashed
@@ -402,10 +491,19 @@ func (v *VMD) vmdServers() []*Server { return v.servers }
 // Name returns the client's name.
 func (c *Client) Name() string { return c.name }
 
-// Stats returns cumulative (written, read, retried) page counters.
+// Stats returns cumulative (written, read, retried) page counters. The
+// read count includes every completed read regardless of origin — remote
+// servers, local spill disk, staging cache, compressed tier, zero-fill —
+// and always equals the sum of ReadsByOrigin.
 func (c *Client) Stats() (written, read, retried int64) {
 	return c.pagesWritten, c.pagesRead, c.retries
 }
+
+// Clients returns the pool's clients in creation order.
+func (v *VMD) Clients() []*Client { return v.clients }
+
+// Namespaces returns the pool's namespaces in creation order.
+func (v *VMD) Namespaces() []*Namespace { return v.namespaces }
 
 // interFlow returns (creating on first use) the server-to-server flow used
 // by background re-replication.
@@ -467,6 +565,19 @@ type Namespace struct {
 	lostReads     int64 // reads served as zero-fill
 	failoverReads int64 // reads retried onto another copy
 	rereplicated  int64 // copies restored by background repair
+
+	// v2 store state (store.go, prefetch.go, ring.go). All nil/zero when
+	// the corresponding feature is off.
+	hashKey      uint64        // per-namespace page-key seed for hash placement
+	heat         []uint32      // offset -> tier epoch of last access
+	demoteCursor int           // cold-scan position
+	ct           []*ctierState // per-client compressed tiers, creation order
+	pref         []*prefetcher // per-client readahead state, creation order
+	latSink      func(seconds float64)
+
+	demotions  int64 // pages moved memory -> server disk by the cold scan
+	promotions int64 // pages moved server disk -> memory on access
+	rebalanced int64 // pages moved to their ring-preferred server
 }
 
 // CreateNamespace carves a namespace of the given size (in pages) out of
@@ -484,9 +595,13 @@ func (v *VMD) CreateNamespace(name string, pages int) *Namespace {
 		vmd: v, name: name, k: v.replicas, placement: p, onDisk: mem.NewBitmap(pages),
 		clients: make(map[*Client]bool),
 		em:      v.tr.Emitter(trace.ScopeDevice, "vmd:"+name),
+		hashKey: sim.SeedForName(ringRoot, "ns:"+name),
 	}
 	if ns.k > 1 {
 		ns.replicas = make([][]replCopy, pages)
+	}
+	if v.store.Tiers.Enabled {
+		ns.heat = make([]uint32, pages)
 	}
 	v.namespaces = append(v.namespaces, ns)
 	ns.registerMetrics(v.reg)
@@ -544,6 +659,9 @@ func (ns *Namespace) CopiesOf(off uint32) int {
 	if ns.spilled != nil && ns.spilled[off] != nil {
 		return 1
 	}
+	if ns.ctHolder(off) != nil {
+		return 1
+	}
 	return 0
 }
 
@@ -586,6 +704,12 @@ func (ns *Namespace) Destroy() {
 	ns.stored = 0
 	ns.destroyed = true
 	ns.clients = make(map[*Client]bool)
+	for _, st := range ns.ct {
+		st.clear()
+	}
+	for _, pf := range ns.pref {
+		pf.clear()
+	}
 }
 
 // copiesAt returns the offset's extra copies (nil when unreplicated).
@@ -705,15 +829,111 @@ func (v *VMD) queueRepair(ns *Namespace, off uint32) {
 
 // pumpRepairs starts queued repairs up to the concurrency window. Each
 // repair re-validates at start and again at arrival: the page may have
-// been freed, re-replicated or lost again in the meantime.
+// been freed, re-replicated or lost again in the meantime. With batching
+// configured (StoreConfig.BatchPages > 1), adjacent queue entries for
+// contiguous offsets on the same source server coalesce into one transfer.
 func (v *VMD) pumpRepairs() {
 	for v.repairBusy < repairWindow && len(v.repairQ) > 0 {
 		it := v.repairQ[0]
 		v.repairQ = v.repairQ[1:]
-		if v.startRepair(it) {
+		run := []repairItem{it}
+		for v.store.BatchPages > 1 && len(v.repairQ) > 0 && len(run) < v.store.BatchPages {
+			nxt := v.repairQ[0]
+			last := run[len(run)-1]
+			if nxt.ns != it.ns || nxt.off != last.off+1 ||
+				it.ns.placement[nxt.off] != it.ns.placement[it.off] ||
+				it.ns.onDisk.Test(mem.PageID(nxt.off)) != it.ns.onDisk.Test(mem.PageID(it.off)) {
+				break
+			}
+			run = append(run, nxt)
+			v.repairQ = v.repairQ[1:]
+		}
+		if len(run) == 1 {
+			if v.startRepair(it) {
+				v.repairBusy++
+			}
+			continue
+		}
+		if v.startRepairRun(run) {
 			v.repairBusy++
 		}
 	}
+}
+
+// startRepairRun begins one coalesced re-replication transfer of a run of
+// contiguous offsets sharing a source server, reporting whether any page
+// in the run still needed repair and a target existed. The run travels as
+// one message; each page lands (and re-validates) individually.
+func (v *VMD) startRepairRun(run []repairItem) bool {
+	ns := run[0].ns
+	valid := run[:0]
+	for _, it := range run {
+		if ns.destroyed || ns.placement[it.off] == noServer {
+			continue
+		}
+		if 1+len(ns.copiesAt(it.off)) >= ns.k {
+			continue
+		}
+		if v.servers[ns.placement[it.off]].down {
+			continue
+		}
+		valid = append(valid, it)
+	}
+	if len(valid) == 0 {
+		return false
+	}
+	src := v.servers[ns.placement[valid[0].off]]
+	n := len(v.servers)
+	var dst *Server
+	for i := 0; i < n; i++ {
+		cand := v.servers[(v.repairRR+i)%n]
+		if cand.down || cand == src || cand.freePages() <= 0 {
+			continue
+		}
+		held := false
+		for _, it := range valid {
+			if ns.holdsCopy(it.off, cand.idx) {
+				held = true
+				break
+			}
+		}
+		if held {
+			continue
+		}
+		dst = cand
+		v.repairRR = int(cand.idx) + 1
+		break
+	}
+	if dst == nil {
+		return false
+	}
+	src.pagesServed += int64(len(valid))
+	send := func() {
+		v.interFlow(src, dst).SendMessage(BatchMsgBytes(len(valid)), func() {
+			diskN := 0
+			for _, it := range valid {
+				if landed, onDisk := v.landRepair(it.ns, it.off, src, dst); landed && onDisk {
+					diskN++
+				}
+			}
+			next := func() {
+				v.repairBusy--
+				v.pumpRepairs()
+			}
+			if diskN > 0 {
+				dst.disk.Write(mem.PagesToBytes(diskN), next)
+			} else {
+				next()
+			}
+		})
+	}
+	if ns.onDisk.Test(mem.PageID(valid[0].off)) {
+		src.diskServes += int64(len(valid))
+		src.disk.Read(mem.PagesToBytes(len(valid)), send)
+	} else {
+		send()
+	}
+	return true
 }
 
 // startRepair begins one re-replication transfer, reporting whether it was
@@ -767,12 +987,22 @@ func (v *VMD) finishRepair(ns *Namespace, off uint32, src, dst *Server) {
 		v.repairBusy--
 		v.pumpRepairs()
 	}
+	landed, onDisk := v.landRepair(ns, off, src, dst)
+	if landed && onDisk {
+		dst.disk.Write(mem.PageSize, next)
+	} else {
+		next()
+	}
+}
+
+// landRepair re-validates and lands one re-replicated page at its target,
+// reporting whether a copy was added and on which tier. Disk-tier landings
+// are accounted immediately; the caller schedules the device write.
+func (v *VMD) landRepair(ns *Namespace, off uint32, src, dst *Server) (landed, onDisk bool) {
 	if dst.down || ns.destroyed || ns.placement[off] == noServer ||
 		1+len(ns.copiesAt(off)) >= ns.k || ns.holdsCopy(off, dst.idx) {
-		next()
-		return
+		return false, false
 	}
-	onDisk := false
 	if dst.used < dst.capacity {
 		dst.used++
 	} else if dst.disk != nil && dst.diskUsed < dst.diskCap {
@@ -780,8 +1010,7 @@ func (v *VMD) finishRepair(ns *Namespace, off uint32, src, dst *Server) {
 		dst.diskStores++
 		onDisk = true
 	} else {
-		next()
-		return
+		return false, false
 	}
 	dst.pagesStored++
 	ns.replicas[off] = append(ns.replicas[off], replCopy{srv: dst.idx, onDisk: onDisk})
@@ -789,11 +1018,7 @@ func (v *VMD) finishRepair(ns *Namespace, off uint32, src, dst *Server) {
 	if ns.em.Enabled() {
 		ns.em.Emitf(v.eng.NowSeconds(), trace.VMDRepair, "offset %d re-replicated %s -> %s", off, src.name, dst.name)
 	}
-	if onDisk {
-		dst.disk.Write(mem.PageSize, next)
-	} else {
-		next()
-	}
+	return true, onDisk
 }
 
 // sendState tracks one in-flight request so a timeout and a late response
@@ -838,16 +1063,40 @@ func (ns *Namespace) Write(c *Client, off uint32, fn func()) {
 	if int(off) >= len(ns.placement) {
 		panic("vmd: write past end of namespace")
 	}
+	ns.invalidateStaging(off)
 	if ns.placement[off] != noServer {
 		ns.overwrite(c, off, fn)
 		return
 	}
-	already := false
-	if ns.spilled != nil && ns.spilled[off] != nil {
-		already = true
-	} else if ns.lost != nil && ns.lost.Test(mem.PageID(off)) {
-		already = true
+	if st := ns.ctHolder(off); st != nil {
+		ns.ctierRewrite(st, off, fn)
+		return
 	}
+	if !ns.hasDegraded(off) {
+		if st := ns.ctFor(c); st != nil {
+			ns.ctierStore(st, off, fn)
+			return
+		}
+	}
+	ns.writeRemote(c, off, false, fn)
+}
+
+// hasDegraded reports whether the offset is in one of the degraded states
+// (spilled to a client disk, or lost to a crash) that ns.stored already
+// counts.
+func (ns *Namespace) hasDegraded(off uint32) bool {
+	if ns.spilled != nil && ns.spilled[off] != nil {
+		return true
+	}
+	return ns.lost != nil && ns.lost.Test(mem.PageID(off))
+}
+
+// writeRemote places a fresh offset on the remote pool through the v1
+// write machinery, bypassing the client-local compressed tier. Callers
+// that already count the offset in ns.stored (the compressed tier's
+// writeback) pass alreadyStored.
+func (ns *Namespace) writeRemote(c *Client, off uint32, alreadyStored bool, fn func()) {
+	already := alreadyStored || ns.hasDegraded(off)
 	op := &writeOp{
 		ns: ns, c: c, off: off, fn: fn,
 		attempts: 2*len(c.links) + 2,
@@ -934,7 +1183,7 @@ func (op *writeOp) sendCopy(primary bool) {
 		op.spillPrimary()
 		return
 	}
-	s := op.c.pickServer(op.nacked | op.placed)
+	s := op.c.placeServer(op.ns, op.off, op.nacked|op.placed)
 	if s == nil {
 		if primary {
 			op.spillPrimary()
@@ -1025,6 +1274,7 @@ func (op *writeOp) send(s *Server, primary bool) {
 		op.placed |= uint64(1) << uint(s.idx)
 		if primary {
 			ns.placement[off] = s.idx
+			ns.touch(off)
 			if op.already {
 				if ns.lost != nil && ns.lost.Test(mem.PageID(off)) {
 					ns.lost.Clear(mem.PageID(off))
@@ -1232,7 +1482,58 @@ func (ns *Namespace) Read(c *Client, off uint32, fn func()) {
 	if int(off) >= len(ns.placement) {
 		panic("vmd: read past end of namespace")
 	}
+	fn = ns.wrapLatency(fn)
+	if ns.vmd.store.Readahead.Enabled {
+		pf := ns.prefFor(c)
+		if pf.take(off) {
+			ns.serveStaged(pf, c, off, fn)
+			return
+		}
+		pf.observe(off)
+	}
+	if st := ns.ctHolder(off); st != nil {
+		ns.readCtier(st, c, off, fn)
+		return
+	}
 	ns.readCopy(c, off, fn)
+}
+
+// SetReadLatencySink installs a callback observing the latency (in
+// simulated seconds) of every subsequent Read/ReadBatch page completion on
+// this namespace, whatever tier served it. Pass nil to detach. Experiments
+// use it to build demand-read latency histograms.
+func (ns *Namespace) SetReadLatencySink(fn func(seconds float64)) { ns.latSink = fn }
+
+// wrapLatency stamps a read's issue time and reports its completion
+// latency to the sink; a no-op (returning fn unchanged) when no sink is
+// attached, so v1 runs allocate nothing here.
+func (ns *Namespace) wrapLatency(fn func()) func() {
+	if ns.latSink == nil {
+		return fn
+	}
+	eng := ns.vmd.eng
+	start := eng.Now()
+	return func() {
+		ns.latSink(sim.Seconds(eng.Now()-start, eng.TickLen()))
+		if fn != nil {
+			fn()
+		}
+	}
+}
+
+// serveStaged completes a read from the client's readahead staging cache:
+// the page is already local, so the only cost is one event-loop hop.
+func (ns *Namespace) serveStaged(pf *prefetcher, c *Client, off uint32, fn func()) {
+	if ns.em.Enabled() {
+		ns.em.Emitf(ns.vmd.eng.NowSeconds(), trace.VMDPrefetchHit, "offset %d served from staging on %s", off, c.name)
+	}
+	pf.noteHit(off)
+	ns.vmd.eng.After(1, func() {
+		c.countRead(originStaged)
+		if fn != nil {
+			fn()
+		}
+	})
 }
 
 // readCopy resolves the offset's current primary and issues the read, with
@@ -1247,11 +1548,12 @@ func (ns *Namespace) readCopy(c *Client, off uint32, fn func()) {
 			return
 		}
 		if ns.lost != nil && ns.lost.Test(mem.PageID(off)) {
-			ns.readLost(off, fn)
+			ns.readLost(c, off, fn)
 			return
 		}
 		panic(fmt.Sprintf("vmd: read of unwritten offset %d in %s", off, ns.name))
 	}
+	ns.touch(off)
 	s := v.servers[sIdx]
 	if ns.em.Enabled() {
 		ns.em.Emitf(v.eng.NowSeconds(), trace.VMDRead, "offset %d from %s via %s", off, s.name, c.name)
@@ -1282,7 +1584,7 @@ func (ns *Namespace) readCopy(c *Client, off uint32, fn func()) {
 					return
 				}
 				st.settled = true
-				c.pagesRead++
+				c.countRead(originRemote)
 				if fn != nil {
 					fn()
 				}
@@ -1291,7 +1593,10 @@ func (ns *Namespace) readCopy(c *Client, off uint32, fn func()) {
 		if ns.onDisk.Test(mem.PageID(off)) {
 			// Spilled page: the server reads its local disk first.
 			s.diskServes++
-			s.disk.Read(mem.PageSize, respond)
+			s.disk.Read(mem.PageSize, func() {
+				ns.maybePromote(s, off)
+				respond()
+			})
 			return
 		}
 		respond()
@@ -1313,6 +1618,7 @@ func (ns *Namespace) readSpilled(c, holder *Client, off uint32, fn func()) {
 	}
 	if holder == c {
 		c.spillIO().Read(mem.PageSize, func() {
+			c.countRead(originSpill)
 			if fn != nil {
 				fn()
 			}
@@ -1321,7 +1627,7 @@ func (ns *Namespace) readSpilled(c, holder *Client, off uint32, fn func()) {
 	}
 	holder.spillIO().Read(mem.PageSize, func() {
 		ns.vmd.peerFlow(holder, c).SendMessage(PageMsgBytes, func() {
-			c.pagesRead++
+			c.countRead(originSpill)
 			if fn != nil {
 				fn()
 			}
@@ -1331,10 +1637,11 @@ func (ns *Namespace) readSpilled(c, holder *Client, off uint32, fn func()) {
 
 // readLost serves a read of an unrecoverable page as zero-fill: the VM
 // takes corrupted-but-bounded damage instead of the simulator halting.
-func (ns *Namespace) readLost(off uint32, fn func()) {
+func (ns *Namespace) readLost(c *Client, off uint32, fn func()) {
 	ns.lostReads++
 	ns.em.Emitf(ns.vmd.eng.NowSeconds(), trace.VMDLost, "offset %d unrecoverable, served as zero-fill", off)
 	ns.vmd.eng.After(1, func() {
+		c.countRead(originZero)
 		if fn != nil {
 			fn()
 		}
@@ -1350,8 +1657,13 @@ func (ns *Namespace) Free(off uint32) {
 	if int(off) >= len(ns.placement) {
 		panic("vmd: free past end of namespace")
 	}
+	ns.invalidateStaging(off)
 	sIdx := ns.placement[off]
 	if sIdx == noServer {
+		if st := ns.ctHolder(off); st != nil {
+			ns.ctierFree(st, off)
+			return
+		}
 		if ns.spilled != nil && ns.spilled[off] != nil {
 			delete(ns.spilled, off)
 			ns.stored--
@@ -1387,6 +1699,9 @@ func (ns *Namespace) HasPage(off uint32) bool {
 		return true
 	}
 	if ns.spilled != nil && ns.spilled[off] != nil {
+		return true
+	}
+	if ns.ctHolder(off) != nil {
 		return true
 	}
 	return ns.lost != nil && ns.lost.Test(mem.PageID(off))

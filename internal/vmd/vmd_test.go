@@ -246,3 +246,41 @@ func TestWritePastEndPanics(t *testing.T) {
 	}()
 	r.ns.Write(r.client, 10, nil)
 }
+
+// TestReadCountAccountsEveryOrigin pins the Stats read-count contract: the
+// client's read total must equal the sum of the per-origin counters, and
+// every origin — remote pool, local spill disk, zero-fill of lost pages —
+// must be included. (The v1 counter missed spill and failover-path reads.)
+func TestReadCountAccountsEveryOrigin(t *testing.T) {
+	r := newFaultRig(t, 1, 10, 100, 1, 0.25)
+	r.spillDisk()
+	for i := 0; i < 30; i++ {
+		r.ns.Write(r.client, uint32(i), nil)
+	}
+	r.eng.RunSeconds(10)
+	// First pass: 10 pooled (remote) + 20 spilled (spill origin).
+	for i := 0; i < 30; i++ {
+		r.ns.Read(r.client, uint32(i), nil)
+	}
+	r.eng.RunSeconds(10)
+	// Crash the only server: its 10 pages are lost; the second pass serves
+	// 20 from spill and zero-fills 10.
+	r.servers[0].Crash()
+	for i := 0; i < 30; i++ {
+		r.ns.Read(r.client, uint32(i), nil)
+	}
+	r.eng.RunSeconds(10)
+	_, read, _ := r.client.Stats()
+	remote, spill, staged, ctier, zero := r.client.ReadsByOrigin()
+	if sum := remote + spill + staged + ctier + zero; read != sum {
+		t.Fatalf("Stats read total %d != origin sum %d (remote %d spill %d staged %d ctier %d zero %d)",
+			read, sum, remote, spill, staged, ctier, zero)
+	}
+	if read != 60 {
+		t.Fatalf("read total %d, want 60", read)
+	}
+	if remote == 0 || spill == 0 || zero == 0 {
+		t.Fatalf("expected remote, spill and zero-fill origins all exercised: remote %d spill %d zero %d",
+			remote, spill, zero)
+	}
+}
