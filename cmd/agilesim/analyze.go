@@ -1,0 +1,81 @@
+// The `agilesim analyze` subcommand: offline analysis of a span JSONL log
+// (written by `quickstart -trace-jsonl` or `fleet -trace-jsonl`), plus a
+// strict validator for Prometheus text-format expositions (used by CI to
+// check the /metrics endpoint).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"agilemig/internal/metrics"
+	"agilemig/internal/report"
+	"agilemig/internal/trace"
+)
+
+// runAnalyze handles `agilesim analyze [flags]`; args excludes the
+// subcommand word itself.
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("agilesim analyze", flag.ExitOnError)
+	spansPath := fs.String("spans", "", "span JSONL file (from -trace-jsonl); \"-\" reads stdin")
+	csvPath := fs.String("csv", "", "also write the full analysis (critical-path segments, downtime overlaps) as CSV to this file")
+	promPath := fs.String("prom", "", "instead: validate a Prometheus text-format exposition file and exit; \"-\" reads stdin")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: agilesim analyze -spans file.jsonl [-csv out.csv]\n")
+		fmt.Fprintf(os.Stderr, "       agilesim analyze -prom metrics.txt\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 || (*spansPath == "") == (*promPath == "") {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	open := func(path string) io.ReadCloser {
+		if path == "-" {
+			return io.NopCloser(os.Stdin)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agilesim: analyze:", err)
+			os.Exit(1)
+		}
+		return f
+	}
+
+	if *promPath != "" {
+		r := open(*promPath)
+		defer r.Close()
+		families, samples, err := metrics.ValidateExposition(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agilesim: analyze: invalid exposition:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d metric families, %d samples\n", families, samples)
+		return
+	}
+
+	r := open(*spansPath)
+	defer r.Close()
+	spans, summary, err := trace.ReadSpansJSONL(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agilesim: analyze:", err)
+		os.Exit(1)
+	}
+	a := report.AnalyzeSpans(spans)
+	report.RenderSpanAnalysis(os.Stdout, a)
+	if summary.SpanDrops > 0 {
+		fmt.Fprintf(os.Stderr, "agilesim: analyze: the log reports %d dropped spans; the analysis is partial\n", summary.SpanDrops)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agilesim: analyze:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		report.WriteSpanAnalysisCSV(f, a)
+	}
+}

@@ -7,7 +7,10 @@
 //
 //	agilesim [-scale f] [-seed n] [-csv file] [-parallel n]
 //	         [-trace-out file] [-trace-jsonl file] [-metrics-out file]
+//	         [-metrics-addr host:port] [-metrics-hold s]
 //	         [-cpuprofile file] [-memprofile file] <experiment>
+//	agilesim analyze -spans file.jsonl [-csv out.csv]
+//	agilesim analyze -prom metrics.txt
 //
 // Experiments:
 //
@@ -42,8 +45,20 @@
 //
 // The -trace-out flag writes a Chrome trace-event JSON file (open it in
 // Perfetto or chrome://tracing) of the quickstart's observed run;
-// -trace-jsonl writes the same events as one JSON object per line, and
-// -metrics-out writes the sampled metric series as JSONL.
+// -trace-jsonl writes the same events — plus the migration's span tree —
+// as one JSON object per line, and -metrics-out writes the sampled metric
+// series as JSONL. -metrics-addr serves the registry in Prometheus text
+// format at http://<addr>/metrics while the run executes (snapshots are
+// published at sampler ticks; scrapes never touch simulator state), and
+// -metrics-hold keeps serving the final snapshot for that many wall-clock
+// seconds after the run so a scraper can collect the end state.
+//
+// `agilesim analyze` post-processes a span JSONL log: per migration it
+// reports the critical path (segments exactly tiling the migration
+// window), downtime attribution against the VM-stopped window,
+// demand-fault latency percentiles, and wasted work (retried faults,
+// refuted prefetch windows); -prom instead validates a Prometheus
+// exposition file with a strict text-format 0.0.4 parser.
 //
 // -scale 1.0 reproduces the paper's sizes (10 GB VMs, 23 GB hosts) and
 // takes several wall-clock minutes; -scale 0.25 preserves every shape at a
@@ -71,6 +86,12 @@ import (
 )
 
 func main() {
+	// `agilesim analyze` is a subcommand with its own flags; dispatch it
+	// before the main flag set sees the arguments.
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
+		return
+	}
 	scale := flag.Float64("scale", 0.25, "size/time scale factor (1.0 = paper scale)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csvPath := flag.String("csv", "", "also write timeline series as CSV to this file")
@@ -80,14 +101,17 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 	traceJSONL := flag.String("trace-jsonl", "", "write the trace as JSON lines to this file")
 	metricsOut := flag.String("metrics-out", "", "write sampled metric series as JSON lines to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text-format metrics at http://<addr>/metrics during the quickstart (use 127.0.0.1:port)")
+	metricsHold := flag.Float64("metrics-hold", 0, "keep serving the final /metrics snapshot this many seconds after the run")
 	traceBuf := flag.Int("trace-buf", trace.DefaultBusCapacity, "trace ring-buffer capacity (events)")
 	faults := flag.String("faults", "", "fault schedule for quickstart runs (crash:<srv>@<t>[+<d>],linkdown:<nic>@<t>[+<d>],loss:<nic>@<t>[+<d>][=<rate>])")
 	replicas := flag.Int("replicas", 0, "VMD replication factor for quickstart runs; for recovery, run only this K (0/1 = off)")
 	shards := flag.Int("shards", 1, "parallel-kernel shard count (1 = serial engine); results are byte-identical at any value")
 	cells := flag.Int("cells", 0, "fleet experiment: migration cells (2 hosts each; 0 = default 32)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-shards n] [-faults plan] [-replicas k] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-cpuprofile file] [-memprofile file] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-shards n] [-faults plan] [-replicas k] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-metrics-addr host:port] [-metrics-hold s] [-cpuprofile file] [-memprofile file] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart recovery vmdsweep fleet demo report all\n")
+		fmt.Fprintf(os.Stderr, "       agilesim analyze -spans file.jsonl [-csv out.csv] | analyze -prom metrics.txt\n")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -226,8 +250,20 @@ func main() {
 		if *traceOut != "" || *traceJSONL != "" {
 			tr = trace.New(*traceBuf)
 		}
-		if *metricsOut != "" {
+		if *metricsOut != "" || *metricsAddr != "" {
 			reg = metrics.NewRegistry()
+		}
+		var ep *metricsEndpoint
+		if *metricsAddr != "" {
+			var err error
+			ep, err = startMetricsEndpoint(*metricsAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim: -metrics-addr:", err)
+				os.Exit(1)
+			}
+			// The hook runs on the simulation goroutine at every sampler
+			// tick: render there, publish atomically, serve lock-free.
+			reg.SetSampleHook(func() { ep.publish(reg) })
 		}
 		cfg := experiments.DefaultQuickstartConfig()
 		cfg.Scale = *scale
@@ -276,6 +312,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "agilesim: trace ring dropped %d events; rerun with -trace-buf %d or larger\n",
 					d, tr.Cap()*2)
 			}
+			if d := tr.SpanDrops(); d > 0 {
+				fmt.Fprintf(os.Stderr, "agilesim: span store dropped %d newest spans; rerun with -trace-buf %d or larger\n",
+					d, tr.SpanCap()*2)
+			}
 			writeFile := func(path string, write func(f *os.File) error) {
 				f, err := os.Create(path)
 				if err != nil {
@@ -306,6 +346,9 @@ func main() {
 				fmt.Fprintln(os.Stderr, "agilesim:", err)
 				os.Exit(1)
 			}
+		}
+		if ep != nil {
+			ep.holdAndClose(reg, *metricsHold)
 		}
 	}
 
@@ -338,11 +381,16 @@ func main() {
 			}
 		}
 		if *traceJSONL != "" {
-			// The canonical (T, scope, actor) merge of the per-cell rings:
-			// byte-identical at any -shards and GOMAXPROCS.
+			// The canonical (T, scope, actor) merge of the per-cell rings
+			// and span stores: byte-identical at any -shards and GOMAXPROCS.
 			writeFile(*traceJSONL, func(f *os.File) error {
-				return trace.WriteEventsJSONL(f, rep.Fleet.MergedTraceEvents(), rep.Fleet.TraceDrops())
+				return trace.WriteEventsSpansJSONL(f,
+					rep.Fleet.MergedTraceEvents(), rep.Fleet.MergedSpans(),
+					rep.Fleet.TraceDrops(), rep.Fleet.SpanDrops(), rep.Fleet.OpenSpans())
 			})
+			if d := rep.Fleet.SpanDrops(); d > 0 {
+				fmt.Fprintf(os.Stderr, "agilesim: fleet span stores dropped %d newest spans; rerun with -trace-buf larger\n", d)
+			}
 		}
 		if *metricsOut != "" {
 			// Per-cell registries concatenated in cell order, equally
@@ -363,6 +411,9 @@ func main() {
 	}
 	if id == "fleet" && *traceOut != "" {
 		fmt.Fprintln(os.Stderr, "agilesim: -trace-out (Chrome trace) attaches to the quickstart experiment; fleet writes -trace-jsonl; ignoring")
+	}
+	if id != "quickstart" && (*metricsAddr != "" || *metricsHold > 0) {
+		fmt.Fprintln(os.Stderr, "agilesim: -metrics-addr/-metrics-hold attach to the quickstart experiment; ignoring")
 	}
 	if id != "quickstart" && *faults != "" {
 		fmt.Fprintln(os.Stderr, "agilesim: -faults attaches to the quickstart experiment (recovery has its own schedule); ignoring")

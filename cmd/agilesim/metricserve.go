@@ -1,0 +1,70 @@
+// The -metrics-addr endpoint: a localhost HTTP server exposing the
+// quickstart's metrics.Registry in Prometheus text format 0.0.4 at
+// /metrics. The simulation goroutine renders a snapshot at every sampler
+// tick (via Registry.SetSampleHook) and publishes it through an
+// atomic.Value; the HTTP handlers only ever read the latest snapshot, so
+// scrapes never touch live simulator state and determinism is untouched.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"agilemig/internal/metrics"
+	"sync/atomic"
+)
+
+// metricsEndpoint is the published-snapshot server.
+type metricsEndpoint struct {
+	snap atomic.Value // []byte: the last rendered exposition
+	srv  *http.Server
+	addr string
+}
+
+// startMetricsEndpoint listens on addr (use 127.0.0.1:port; the server has
+// no auth) and serves /metrics until closed.
+func startMetricsEndpoint(addr string) (*metricsEndpoint, error) {
+	ep := &metricsEndpoint{addr: addr}
+	ep.snap.Store([]byte("# agilesim metrics endpoint up; no snapshot rendered yet\n"))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(ep.snap.Load().([]byte))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ep.addr = ln.Addr().String()
+	ep.srv = &http.Server{Handler: mux}
+	go ep.srv.Serve(ln)
+	return ep, nil
+}
+
+// publish renders the registry and swaps it in as the served snapshot.
+// Call only from the goroutine that owns the registry (the sample hook
+// runs on the simulation goroutine; the final render after the run).
+func (ep *metricsEndpoint) publish(reg *metrics.Registry) {
+	var b bytes.Buffer
+	if err := metrics.WritePrometheus(&b, reg); err != nil {
+		return
+	}
+	ep.snap.Store(b.Bytes())
+}
+
+// holdAndClose publishes a final snapshot, keeps serving for holdSeconds
+// (so a scraper — CI, a browser — can read the end-of-run state), then
+// shuts the listener down.
+func (ep *metricsEndpoint) holdAndClose(reg *metrics.Registry, holdSeconds float64) {
+	ep.publish(reg)
+	if holdSeconds > 0 {
+		fmt.Fprintf(os.Stderr, "agilesim: serving final metrics at http://%s/metrics for %.0fs\n", ep.addr, holdSeconds)
+		//lint:tickdrift wall-clock serving window for external scrapers, not simulated time
+		time.Sleep(time.Duration(holdSeconds * float64(time.Second)))
+	}
+	ep.srv.Close()
+}

@@ -406,6 +406,36 @@ func (f *Fleet) TraceDrops() int64 {
 	return d
 }
 
+// MergedSpans returns every cell's spans merged into the canonical
+// (Start, Scope, Actor) order with IDs renumbered and parent links
+// remapped — like MergedTraceEvents, byte-identical at any shard count.
+// Nil when the fleet was built without Observe.
+func (f *Fleet) MergedSpans() []trace.Span {
+	traces := make([]*trace.Trace, len(f.cells))
+	for i, c := range f.cells {
+		traces[i] = c.tr
+	}
+	return trace.MergeSpans(traces...)
+}
+
+// SpanDrops sums refused span Begins across the per-cell traces.
+func (f *Fleet) SpanDrops() int64 {
+	var d int64
+	for _, c := range f.cells {
+		d += c.tr.SpanDrops()
+	}
+	return d
+}
+
+// OpenSpans sums never-ended spans across the per-cell traces.
+func (f *Fleet) OpenSpans() int {
+	var n int
+	for _, c := range f.cells {
+		n += c.tr.OpenSpans()
+	}
+	return n
+}
+
 // CellTrace returns cell i's private trace (nil without Observe); the
 // -race sink-isolation test uses it to prove shards share no emitter.
 func (f *Fleet) CellTrace(i int) *trace.Trace { return f.cells[i].tr }

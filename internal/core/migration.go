@@ -6,6 +6,7 @@ import (
 	"agilemig/internal/cgroup"
 	"agilemig/internal/guest"
 	"agilemig/internal/mem"
+	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
 	"agilemig/internal/simnet"
 	"agilemig/internal/trace"
@@ -68,12 +69,71 @@ type Migration struct {
 	downtimeBase sim.Duration
 	result       Result
 	em           *trace.Emitter // per-VM scope on spec.Trace; nil records nothing
+
+	// Span-layer state. rootSpan covers the whole migration; phaseSpan is
+	// whichever phase is current (a pre-copy/Agile round, the stop-and-copy
+	// scan, the scatter or push stream); stopSpan covers exactly the
+	// VM-stopped window (Suspend -> Switchover), so its duration equals the
+	// migration's contribution to DowntimeSeconds; cpuSpan is the CPU-state
+	// transit inside it; residSpan is the post-drain residual demand window.
+	sp        *trace.SpanEmitter
+	rootSpan  trace.SpanID
+	phaseSpan trace.SpanID
+	stopSpan  trace.SpanID
+	cpuSpan   trace.SpanID
+	residSpan trace.SpanID
+	// demandMeta tracks outstanding demand faults for span + latency
+	// accounting (allocated only when spans or metrics are on; never
+	// iterated, so map order cannot leak).
+	demandMeta map[mem.PageID]demandTrack
+	demandHist *metrics.Histogram
+}
+
+// demandTrack is the per-page demand-fault accounting record.
+type demandTrack struct {
+	span  trace.SpanID
+	start sim.Time
 }
 
 // event records a trace event stamped with the current simulated time (a
 // nil emitter costs one branch).
 func (m *Migration) event(kind trace.Kind, format string, args ...interface{}) {
 	m.em.Emitf(m.eng.NowSeconds(), kind, format, args...)
+}
+
+// beginRoundSpan opens the current live round's phase span (pre-copy
+// rounds and Agile's single live round).
+func (m *Migration) beginRoundSpan() {
+	if m.sp.Enabled() {
+		m.phaseSpan = m.sp.Begin(m.eng.NowSeconds(), "round", m.rootSpan,
+			trace.Num("round", float64(m.round)))
+	}
+}
+
+// beginStopSpans opens the VM-stopped window span and, inside it, the
+// CPU-state transit span. Both end at switchover; the stopped span's
+// duration is by construction this migration's DowntimeSeconds.
+func (m *Migration) beginStopSpans() {
+	if m.sp.Enabled() {
+		now := m.eng.NowSeconds()
+		m.stopSpan = m.sp.Begin(now, "stopped", m.rootSpan)
+		m.cpuSpan = m.sp.Begin(now, "cpu-state", m.stopSpan)
+	}
+}
+
+// finishDemand closes a demand fault's accounting: one latency observation
+// and the fault's span. Safe when tracking is off or the page has no entry.
+func (m *Migration) finishDemand(p mem.PageID) {
+	if m.demandMeta == nil {
+		return
+	}
+	dt, ok := m.demandMeta[p]
+	if !ok {
+		return
+	}
+	delete(m.demandMeta, p)
+	m.demandHist.Observe(sim.Seconds(m.eng.Now()-dt.start, m.eng.TickLen()))
+	m.sp.End(m.eng.NowSeconds(), dt.span)
 }
 
 // Start launches a migration and returns the handle. The VM must currently
@@ -103,11 +163,23 @@ func Start(eng *sim.Engine, net *simnet.Network, tech Technique, spec Spec) *Mig
 		downtimeBase:  vm.Downtime(),
 	}
 	m.em = spec.Trace.Emitter(trace.ScopeVM, vm.Name())
+	m.sp = spec.Trace.SpanEmitter(trace.ScopeVM, vm.Name())
+	m.demandHist = spec.Metrics.Histogram(vm.Name()+"/demand.latency.seconds", metrics.DefaultLatencyBounds)
+	if m.sp.Enabled() || m.demandHist != nil {
+		m.demandMeta = make(map[mem.PageID]demandTrack)
+	}
 	m.result.Technique = tech
 	m.result.VMName = vm.Name()
 	m.result.Start = eng.Now()
 	m.event(trace.MigrationStart, "%s of %s: %d pages, %s -> %s",
 		tech, vm.Name(), m.nPages, spec.Source.Name(), spec.Dest.Name())
+	if m.sp.Enabled() {
+		m.rootSpan = m.sp.Begin(eng.NowSeconds(), "migration", 0,
+			trace.Str("technique", tech.String()),
+			trace.Num("pages", float64(m.nPages)),
+			trace.Str("source", spec.Source.Name()),
+			trace.Str("dest", spec.Dest.Name()))
+	}
 
 	src, dst := spec.Source.NIC(), spec.Dest.NIC()
 	m.pushFlow = net.NewFlow("mig:push:"+vm.Name(), src, dst, spec.Latency)
@@ -136,10 +208,12 @@ func Start(eng *sim.Engine, net *simnet.Network, tech Technique, spec Spec) *Mig
 		m.round = 1
 		m.result.Rounds = 1
 		m.state = phaseLive
+		m.beginRoundSpan()
 	case PostCopy:
 		// Suspend immediately; CPU state leads the stream, pages follow.
 		m.event(trace.Suspend, "immediate (post-copy)")
 		vm.Suspend()
+		m.beginStopSpans()
 		m.pushBM = mem.NewBitmap(m.nPages)
 		m.pushBM.SetAll()
 		m.state = phasePush
@@ -152,6 +226,7 @@ func Start(eng *sim.Engine, net *simnet.Network, tech Technique, spec Spec) *Mig
 		m.round = 1
 		m.result.Rounds = 1
 		m.state = phaseLive
+		m.beginRoundSpan()
 	case ScatterGather:
 		m.startScatterGather()
 	}
@@ -186,6 +261,14 @@ func (m *Migration) Abort() bool {
 	m.result.Aborted = true
 	m.event(trace.MigrationAbort, "rolled back to %s after %d pages sent",
 		m.spec.Source.Name(), m.result.PagesSent)
+	if m.sp.Enabled() {
+		now := m.eng.NowSeconds()
+		m.sp.End(now, m.phaseSpan)
+		m.sp.End(now, m.cpuSpan)
+		m.sp.End(now, m.stopSpan)
+		m.sp.End(now, m.residSpan)
+		m.sp.End(now, m.rootSpan, trace.Str("outcome", "aborted"))
+	}
 	// The destination side is torn down; its cgroup never ran the VM.
 	m.destGroup.Disable()
 	m.spec.Dest.RemoveVM(m.vm.Name())
@@ -347,6 +430,7 @@ func (m *Migration) pumpPush() {
 			if !m.srcDrained {
 				m.srcDrained = true
 				m.event(trace.SourceDrained, "push set empty after %d pages", m.result.PagesSent)
+				m.beginResidualSpan()
 				// FIFO marker: when this arrives, every pushed page has.
 				m.pushFlow.SendMessage(m.tun.RecordBytes, func() {
 					m.maybeComplete()
@@ -375,6 +459,20 @@ func (m *Migration) pumpPush() {
 		}
 		budget -= consumed
 	}
+}
+
+// beginResidualSpan closes the active streaming phase span (push or
+// scatter) and opens the residual window: the tail between the source
+// draining and the migration completing, spent waiting on in-flight
+// deliveries and unanswered demand faults.
+func (m *Migration) beginResidualSpan() {
+	if !m.sp.Enabled() {
+		return
+	}
+	now := m.eng.NowSeconds()
+	m.sp.End(now, m.phaseSpan, trace.Num("pages-sent", float64(m.result.PagesSent)))
+	m.phaseSpan = 0
+	m.residSpan = m.sp.Begin(now, "residual", m.rootSpan)
 }
 
 // armDrainCheck re-evaluates completion periodically once the source has
@@ -471,10 +569,16 @@ func (m *Migration) sendFullPages(run []mem.PageID, freeAfter bool) {
 	for _, q := range batch {
 		m.srcTable.ClearDirty(q)
 	}
+	var bsp trace.SpanID
+	if m.sp.Enabled() {
+		bsp = m.sp.Begin(m.eng.NowSeconds(), "batch", m.phaseSpan,
+			trace.Num("pages", float64(len(batch))))
+	}
 	m.pushFlow.SendMessage(mem.PagesToBytes(len(batch))+m.tun.PageHeaderBytes, func() {
 		for _, q := range batch {
 			m.deliverFullPage(q)
 		}
+		m.sp.End(m.eng.NowSeconds(), bsp)
 	})
 	if freeAfter {
 		for _, q := range batch {
@@ -568,6 +672,14 @@ func (m *Migration) requestFromSource(p mem.PageID, done func()) {
 	if m.em.Enabled() {
 		m.em.Emitf(m.eng.NowSeconds(), trace.DemandFault, "page %d requested from %s", p, m.spec.Source.Name())
 	}
+	if m.demandMeta != nil {
+		dt := demandTrack{start: m.eng.Now()}
+		if m.sp.Enabled() {
+			dt.span = m.sp.Begin(m.eng.NowSeconds(), "demand-fault", m.rootSpan,
+				trace.Num("page", float64(p)))
+		}
+		m.demandMeta[p] = dt
+	}
 	m.ctrlFlow.SendMessage(m.tun.DemandRequestBytes, func() {
 		m.serveDemand(p, false)
 	})
@@ -595,6 +707,9 @@ func (m *Migration) armDemandRetry(p mem.PageID, delay float64, attempt int) {
 		}
 		m.result.DemandRetries++
 		m.event(trace.DemandRetry, "page %d unanswered after %.2fs, re-requesting (attempt %d)", p, delay, attempt)
+		if dt, ok := m.demandMeta[p]; ok {
+			m.sp.SetAttr(dt.span, trace.Num("retries", float64(attempt)))
+		}
 		m.ctrlFlow.SendMessage(m.tun.DemandRequestBytes, func() {
 			m.serveDemand(p, true)
 		})
@@ -668,6 +783,7 @@ func (m *Migration) fireDemandWaiters(p mem.PageID) {
 		return
 	}
 	delete(m.pendingDemand, p)
+	m.finishDemand(p)
 	for _, w := range ws {
 		w()
 	}
@@ -701,6 +817,14 @@ func (m *Migration) complete() {
 	m.state = phaseDone
 	m.event(trace.Complete, "total %.2fs, %d pages sent, %d demand-served",
 		sim.Seconds(m.eng.Now()-m.result.Start, m.eng.TickLen()), m.result.PagesSent, m.result.PagesDemandServed)
+	if m.sp.Enabled() {
+		now := m.eng.NowSeconds()
+		m.sp.End(now, m.residSpan)
+		m.sp.End(now, m.phaseSpan)
+		m.sp.End(now, m.rootSpan,
+			trace.Num("pages-sent", float64(m.result.PagesSent)),
+			trace.Num("demand-served", float64(m.result.PagesDemandServed)))
+	}
 	if m.tech != PreCopy {
 		// Runtime faults from here on use the destination cgroup directly.
 		m.vm.SetFaultHandler(nil)
@@ -737,6 +861,16 @@ func (m *Migration) switchover() {
 	m.switched = true
 	m.result.Switchover = m.eng.Now()
 	m.event(trace.Switchover, "execution resumes at %s", m.spec.Dest.Name())
+	if m.sp.Enabled() {
+		now := m.eng.NowSeconds()
+		m.sp.End(now, m.cpuSpan)
+		m.sp.End(now, m.stopSpan)
+		m.cpuSpan, m.stopSpan = 0, 0
+		if m.tech == PostCopy || m.tech == Agile {
+			// Scatter-gather keeps its scatter span; pre-copy completes here.
+			m.phaseSpan = m.sp.Begin(now, "push", m.rootSpan)
+		}
+	}
 	if m.tech == ScatterGather {
 		// The portable swap device attaches at the destination; scattered
 		// pages become reachable there as their records arrive.

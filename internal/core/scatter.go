@@ -23,6 +23,13 @@ func (m *Migration) startScatterGather() {
 	m.event(trace.ScatterStart, "scattering %d pages into the namespace", m.nPages)
 	m.event(trace.Suspend, "immediate (scatter-gather)")
 	m.vm.Suspend()
+	m.beginStopSpans()
+	if m.sp.Enabled() {
+		// The scatter stream runs through the stopped window and past
+		// switchover until the source drains, so it is the root's child,
+		// not the stopped window's.
+		m.phaseSpan = m.sp.Begin(m.eng.NowSeconds(), "scatter", m.rootSpan)
+	}
 	m.pushBM = mem.NewBitmap(m.nPages)
 	m.pushBM.SetAll()
 	m.knownUntouched = mem.NewBitmap(m.nPages)
@@ -58,6 +65,7 @@ func (m *Migration) pumpScatter() {
 			if !m.srcDrained {
 				m.srcDrained = true
 				m.event(trace.SourceDrained, "scatter complete after %d pages", m.result.PagesScattered)
+				m.beginResidualSpan()
 				m.pushFlow.SendMessage(m.tun.RecordBytes, func() {
 					m.maybeComplete()
 				})
@@ -125,10 +133,16 @@ func (m *Migration) scatterRun(p mem.PageID, budget int) int {
 	for i, r := range run {
 		offs[i] = uint32(r)
 	}
+	var bsp trace.SpanID
+	if m.sp.Enabled() {
+		bsp = m.sp.Begin(m.eng.NowSeconds(), "scatter-batch", m.phaseSpan,
+			trace.Num("pages", float64(len(run))))
+	}
 	ns := m.spec.Namespace
 	src := m.spec.Source.VMDClient()
 	ns.WriteBatch(src, offs, func() {
 		m.scatterInFlight--
+		m.sp.End(m.eng.NowSeconds(), bsp)
 		for _, r := range run {
 			m.freeSourcePage(r)
 		}
@@ -186,6 +200,7 @@ func (m *Migration) deliverScatterRecord(p mem.PageID, off uint32) {
 		// the swap device.
 		delete(m.pendingDemand, p)
 		m.destGroup.FaultIn(p, func() {
+			m.finishDemand(p)
 			for _, w := range ws {
 				w()
 			}
@@ -199,6 +214,13 @@ func (m *Migration) deliverScatterRecord(p mem.PageID, off uint32) {
 // original system; without it, pages arrive only as the workload faults).
 func (m *Migration) startGatherPrefetch() {
 	m.event(trace.GatherStart, "prefetching scattered pages into %s", m.spec.Dest.Name())
+	var gsp trace.SpanID
+	if m.sp.Enabled() {
+		// The root span has just ended (complete runs first), but parent
+		// links are structural, not lifetime-nested: the gather tail still
+		// belongs to this migration's tree.
+		gsp = m.sp.Begin(m.eng.NowSeconds(), "gather", m.rootSpan)
+	}
 	var cursor mem.PageID
 	inFlight := 0
 	done := false
@@ -231,6 +253,7 @@ func (m *Migration) startGatherPrefetch() {
 			if len(batch) == 0 {
 				if int(cursor) >= m.nPages {
 					done = true
+					m.sp.End(m.eng.NowSeconds(), gsp)
 				}
 				return
 			}

@@ -76,6 +76,25 @@ func TestTracingEquivalence(t *testing.T) {
 	if tr.Len() == 0 {
 		t.Fatal("observed run recorded no events")
 	}
+	// The span side of the bus must have recorded the migration too: one
+	// root (the trace attaches to the ObserveTechnique run only), every
+	// migration-tree span closed (device reads may still be in flight at
+	// the cutoff) — and none of it may have perturbed the rows above.
+	roots := 0
+	for _, sp := range tr.Spans() {
+		if sp.Name == "migration" && sp.Parent == 0 {
+			roots++
+			if sp.Open {
+				t.Errorf("migration root span %d never ended", sp.ID)
+			}
+		}
+		if sp.Open && sp.Scope != trace.ScopeDevice {
+			t.Errorf("span %q (id %d) left open after the run", sp.Name, sp.ID)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("%d migration root spans, want 1", roots)
+	}
 }
 
 // TestQuickstartChromeTrace drives the traced quickstart (Agile only) and

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"agilemig/internal/cluster"
 	"agilemig/internal/core"
@@ -127,9 +126,13 @@ func runVMDSweepVariant(cfg VMDSweepConfig, v vmdSweepVariant) VMDSweepRow {
 
 	tb.RunSeconds(scaleSeconds(120, cfg.Scale))
 
-	// Record client-observed VMD read latencies from migration start on.
-	var lat []float64
-	h.NS.SetReadLatencySink(func(s float64) { lat = append(lat, s) })
+	// Record client-observed VMD read latencies from migration start on, in
+	// a dense per-millisecond histogram: simulated latencies are tick-
+	// quantized, so 1 ms buckets resolve every distinct value exactly and
+	// the interpolated percentiles preserve strict orderings between
+	// variants (the equivalence tests rely on prefetch p99 < flat p99).
+	hist := metrics.NewHistogram("sweep/read.latency.seconds", sweepLatencyBounds())
+	h.NS.SetReadLatencySink(hist.Observe)
 
 	// A tight destination reservation forces the scan to demand-read from
 	// the store after switchover.
@@ -143,11 +146,11 @@ func runVMDSweepVariant(cfg VMDSweepConfig, v vmdSweepVariant) VMDSweepRow {
 		Variant:         v.name,
 		TotalSeconds:    h.Result.TotalSeconds,
 		DowntimeSeconds: h.Result.DowntimeSeconds,
-		ReadCount:       int64(len(lat)),
+		ReadCount:       hist.Count(),
 		CtierPages:      h.NS.CtierPages(),
 		TransferredMB:   float64(h.Result.BytesTransferred) / 1e6,
 	}
-	row.ReadP50Ms, row.ReadP99Ms = latencyPercentiles(lat)
+	row.ReadP50Ms, row.ReadP99Ms = hist.P50()*1000, hist.P99()*1000
 	_, _, retried := tb.Dest.VMDClient().Stats()
 	row.Retries = retried
 	if _, hits, misses, _ := h.NS.PrefetchStats(); hits+misses > 0 {
@@ -156,19 +159,14 @@ func runVMDSweepVariant(cfg VMDSweepConfig, v vmdSweepVariant) VMDSweepRow {
 	return row
 }
 
-// latencyPercentiles returns the p50 and p99 of the samples in
-// milliseconds (zeros for an empty set).
-func latencyPercentiles(lat []float64) (p50, p99 float64) {
-	if len(lat) == 0 {
-		return 0, 0
+// sweepLatencyBounds returns 1 ms buckets up to 100 ms plus a coarse tail
+// — fine enough that every tick-quantized latency lands in its own bucket.
+func sweepLatencyBounds() []float64 {
+	var b []float64
+	for ms := 1; ms <= 100; ms++ {
+		b = append(b, float64(ms)/1000)
 	}
-	s := append([]float64(nil), lat...)
-	sort.Float64s(s)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(s)-1))
-		return s[i] * 1000
-	}
-	return at(0.50), at(0.99)
+	return append(b, 0.150, 0.250, 0.500, 1.0, 2.5, 5.0)
 }
 
 // PrintVMDSweep renders the variant ladder.

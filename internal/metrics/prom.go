@@ -1,0 +1,179 @@
+// Prometheus text exposition (format version 0.0.4) for a Registry.
+// Registry names follow the "actor/metric" path convention (e.g.
+// "source/used.ram.pages", "vmd/swap-vm1/read.latency.seconds"); the
+// exposition splits each at its last '/' into an {actor="..."} label and a
+// metric family, so the same leaf metric from many actors lands in one
+// family — the shape scrapers expect. Output ordering is fully
+// deterministic: families sort by name, samples within a family by actor.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"agilemig/internal/detorder"
+)
+
+// promSample is one instrument mapped into a family.
+type promSample struct {
+	actor string
+	c     *Counter
+	g     *Gauge
+	h     *Histogram
+}
+
+// promFamily collects all instruments sharing a leaf metric name.
+type promFamily struct {
+	leaf    string // original leaf ("read.latency.seconds"), for HELP
+	typ     string // "counter" | "gauge" | "histogram"
+	samples []promSample
+}
+
+// PromNamespace prefixes every exposed family, keeping the simulator's
+// metrics out of other jobs' namespaces on a shared Prometheus.
+const PromNamespace = "agilemig_"
+
+// WritePrometheus writes the registry in Prometheus text exposition format
+// 0.0.4. Counters gain the conventional "_total" suffix; histograms expose
+// cumulative "_bucket" series with an explicit +Inf bound plus "_sum" and
+// "_count". It is an error for one family to mix instrument types (e.g. a
+// counter "x/lat" next to a histogram "y/lat") — rename one of them.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	if r != nil {
+		fams := map[string]*promFamily{}
+		for _, name := range r.names {
+			actor, leaf := splitPromName(name)
+			var s promSample
+			var typ string
+			switch {
+			case r.counters[name] != nil:
+				s, typ = promSample{actor: actor, c: r.counters[name]}, "counter"
+			case r.gauges[name] != nil:
+				s, typ = promSample{actor: actor, g: r.gauges[name]}, "gauge"
+			case r.hists[name] != nil:
+				s, typ = promSample{actor: actor, h: r.hists[name]}, "histogram"
+			default:
+				continue
+			}
+			fam := promFamilyName(leaf, typ)
+			f := fams[fam]
+			if f == nil {
+				f = &promFamily{leaf: leaf, typ: typ}
+				fams[fam] = f
+			} else if f.typ != typ {
+				return fmt.Errorf("metrics: family %s mixes %s and %s instruments", fam, f.typ, typ)
+			}
+			f.samples = append(f.samples, s)
+		}
+		for _, fam := range detorder.Keys(fams) {
+			f := fams[fam]
+			sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].actor < f.samples[j].actor })
+			fmt.Fprintf(bw, "# HELP %s Simulator metric %s.\n", fam, f.leaf)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fam, f.typ)
+			for _, s := range f.samples {
+				switch f.typ {
+				case "counter":
+					writePromSample(bw, fam, promLabels(s.actor, "", 0), float64(s.c.Value()))
+				case "gauge":
+					writePromSample(bw, fam, promLabels(s.actor, "", 0), s.g.Value())
+				case "histogram":
+					writePromHistogram(bw, fam, s.actor, s.h)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram renders one actor's histogram: cumulative buckets in
+// ascending bound order, the +Inf bucket equal to _count, then _sum and
+// _count.
+func writePromHistogram(bw *bufio.Writer, fam, actor string, h *Histogram) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		writePromSample(bw, fam+"_bucket", promLabels(actor, "le", b), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %s\n",
+		fam, promActorPrefix(actor), formatPromValue(float64(cum)))
+	writePromSample(bw, fam+"_sum", promLabels(actor, "", 0), h.sum)
+	writePromSample(bw, fam+"_count", promLabels(actor, "", 0), float64(h.n))
+}
+
+func writePromSample(bw *bufio.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(bw, "%s %s\n", name, formatPromValue(v))
+	} else {
+		fmt.Fprintf(bw, "%s{%s} %s\n", name, labels, formatPromValue(v))
+	}
+}
+
+// promLabels renders the label set: the actor label (when non-empty) plus
+// an optional numeric label (le for buckets).
+func promLabels(actor, numKey string, numVal float64) string {
+	var parts []string
+	if actor != "" {
+		parts = append(parts, `actor="`+escapePromLabel(actor)+`"`)
+	}
+	if numKey != "" {
+		parts = append(parts, numKey+`="`+formatPromValue(numVal)+`"`)
+	}
+	return strings.Join(parts, ",")
+}
+
+// promActorPrefix renders `actor="...",` or "" — for hand-built label sets
+// like the +Inf bucket.
+func promActorPrefix(actor string) string {
+	if actor == "" {
+		return ""
+	}
+	return `actor="` + escapePromLabel(actor) + `",`
+}
+
+// splitPromName splits a registry path at its last '/' into actor and leaf.
+// Names with no '/' have no actor label.
+func splitPromName(name string) (actor, leaf string) {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "", name
+}
+
+// promFamilyName maps a leaf metric to its exposed family name: the
+// namespace prefix, invalid characters folded to '_', and the conventional
+// "_total" suffix on counters.
+func promFamilyName(leaf, typ string) string {
+	var b strings.Builder
+	b.WriteString(PromNamespace)
+	for _, c := range leaf {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if typ == "counter" {
+		b.WriteString("_total")
+	}
+	return b.String()
+}
+
+// escapePromLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapePromLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatPromValue renders a sample value in the shortest exact form.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vm0/pages.sent").Add(42)
+	r.Counter("vm1/pages.sent").Add(7)
+	r.Gauge("source/ram.free.mb", func() float64 { return 123.5 })
+	h := r.Histogram("vm0/demand.latency.seconds", DefaultLatencyBounds)
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.050, 3.0} {
+		h.Observe(v)
+	}
+
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	families, samples, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own exposition rejected: %v\n%s", err, out)
+	}
+	if families != 3 {
+		t.Fatalf("%d families, want 3 (counter family shared by both VMs)\n%s", families, out)
+	}
+	if samples == 0 {
+		t.Fatal("no samples")
+	}
+	for _, want := range []string{
+		`agilemig_pages_sent_total{actor="vm0"} 42`,
+		`agilemig_pages_sent_total{actor="vm1"} 7`,
+		`agilemig_ram_free_mb{actor="source"} 123.5`,
+		`agilemig_demand_latency_seconds_bucket{actor="vm0",le="+Inf"} 5`,
+		`agilemig_demand_latency_seconds_count{actor="vm0"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second render is byte-identical.
+	var b2 bytes.Buffer
+	if err := WritePrometheus(&b2, r); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("two renders differ")
+	}
+}
+
+func TestWritePrometheusEmptyAndNil(t *testing.T) {
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, NewRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty registry produced output:\n%s", b.String())
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": `agilemig_x 1`,
+		"bad value":           "# TYPE agilemig_x gauge\nagilemig_x nope",
+		"duplicate series":    "# TYPE agilemig_x gauge\nagilemig_x 1\nagilemig_x 2",
+		"histogram without +Inf": "# TYPE agilemig_h histogram\n" +
+			`agilemig_h_bucket{le="1"} 1` + "\nagilemig_h_sum 1\nagilemig_h_count 1",
+		"non-cumulative buckets": "# TYPE agilemig_h histogram\n" +
+			`agilemig_h_bucket{le="1"} 5` + "\n" + `agilemig_h_bucket{le="2"} 3` + "\n" +
+			`agilemig_h_bucket{le="+Inf"} 5` + "\nagilemig_h_sum 1\nagilemig_h_count 5",
+		"descending le": "# TYPE agilemig_h histogram\n" +
+			`agilemig_h_bucket{le="2"} 1` + "\n" + `agilemig_h_bucket{le="1"} 1` + "\n" +
+			`agilemig_h_bucket{le="+Inf"} 1` + "\nagilemig_h_sum 1\nagilemig_h_count 1",
+		"count disagrees with +Inf": "# TYPE agilemig_h histogram\n" +
+			`agilemig_h_bucket{le="+Inf"} 5` + "\nagilemig_h_sum 1\nagilemig_h_count 4",
+		"histogram suffix on gauge": "# TYPE agilemig_g gauge\n" +
+			`agilemig_g_bucket{le="+Inf"} 1`,
+		"invalid metric name": "# TYPE 9bad gauge\n9bad 1",
+		"unterminated labels": "# TYPE agilemig_x gauge\n" + `agilemig_x{a="b" 1`,
+	}
+	for name, in := range cases {
+		if _, _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsEscapesAndComments(t *testing.T) {
+	in := "# just a comment\n" +
+		"# HELP agilemig_x a \"quoted\" help\n" +
+		"# TYPE agilemig_x gauge\n" +
+		`agilemig_x{actor="a\\b\"c\nd"} 1 1700000000` + "\n\n" +
+		"# TYPE agilemig_y untyped\nagilemig_y 2\n"
+	families, samples, err := ValidateExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if families != 2 || samples != 2 {
+		t.Fatalf("families=%d samples=%d", families, samples)
+	}
+}
+
+func TestHistogramPercentileAccessors(t *testing.T) {
+	h := NewHistogram("t", []float64{0.001, 0.002, 0.003, 0.004, 0.005})
+	// 100 observations of 1ms, 2ms, ..., tick-quantized the way the
+	// simulator produces them.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.002)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.004)
+	}
+	if p50 := h.P50(); p50 <= 0 || p50 > 0.001 {
+		t.Fatalf("P50 = %v, want in (0, 0.001]", p50)
+	}
+	if p90 := h.P90(); p90 <= 0.001 || p90 > 0.002 {
+		t.Fatalf("P90 = %v, want in (0.001, 0.002]", p90)
+	}
+	if p99 := h.P99(); p99 <= 0.003 || p99 > 0.004 {
+		t.Fatalf("P99 = %v, want in (0.003, 0.004]", p99)
+	}
+	if h.Name() != "t" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+	var nilH *Histogram
+	if nilH.P50() != 0 || nilH.P90() != 0 || nilH.P99() != 0 || nilH.Name() != "" {
+		t.Fatal("nil histogram accessors not inert")
+	}
+}
+
+func TestRegistryHistogramsOrderAndSampleHook(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("b/lat", DefaultLatencyBounds)
+	r.Histogram("a/lat", DefaultLatencyBounds)
+	r.Counter("c/x")
+	hs := r.Histograms()
+	if len(hs) != 2 || hs[0].Name() != "b/lat" || hs[1].Name() != "a/lat" {
+		t.Fatalf("Histograms() = %v (want registration order)", []string{hs[0].Name(), hs[1].Name()})
+	}
+	var nilR *Registry
+	if nilR.Histograms() != nil {
+		t.Fatal("nil registry Histograms not inert")
+	}
+	nilR.SetSampleHook(func() {}) // must not panic
+}

@@ -1,0 +1,368 @@
+// A strict validator for the Prometheus text exposition format (0.0.4),
+// used by CI to prove /metrics scrapes parse cleanly and by
+// `agilesim analyze -prom`. It checks more than a tolerant scraper would:
+// metric and label names against the spec grammar, TYPE declared before any
+// sample of its family, no duplicate series, and the histogram invariants
+// (le bounds strictly ascending, cumulative counts non-decreasing, a +Inf
+// bucket present and equal to _count, _sum and _count present).
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"agilemig/internal/detorder"
+)
+
+// promSeriesState accumulates one histogram series (one label set minus
+// "le") for invariant checking.
+type promSeriesState struct {
+	lastLe    float64
+	lastCount float64
+	infCount  float64
+	hasInf    bool
+	sum       *float64
+	count     *float64
+	buckets   int
+}
+
+// promFamilyState tracks one declared family while validating.
+type promFamilyState struct {
+	typ     string
+	sampled bool
+	hist    map[string]*promSeriesState // key: normalized labels minus le
+}
+
+// ValidateExposition parses r as Prometheus text exposition format 0.0.4
+// and returns the number of metric families and sample lines seen. Any
+// deviation from the format — or from the histogram/duplicate invariants —
+// returns a descriptive error naming the offending line.
+func ValidateExposition(r io.Reader) (families, samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	fams := map[string]*promFamilyState{}
+	seen := map[string]bool{} // duplicate-series detection
+	lineNo := 0
+	fail := func(format string, args ...interface{}) (int, int, error) {
+		return 0, 0, fmt.Errorf("exposition: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parsePromComment(line)
+			if !ok {
+				continue // plain comment
+			}
+			if !validPromMetricName(name) {
+				return fail("invalid metric name %q in %s", name, kind)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &promFamilyState{typ: "untyped", hist: map[string]*promSeriesState{}}
+				fams[name] = f
+			}
+			if f.sampled {
+				return fail("%s for %s after its samples", kind, name)
+			}
+			if kind == "TYPE" {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = rest
+				default:
+					return fail("unknown TYPE %q for %s", rest, name)
+				}
+			}
+			continue
+		}
+		name, labels, value, e := parsePromSample(line)
+		if e != nil {
+			return fail("%v", e)
+		}
+		samples++
+		fam, suffix := promBaseFamily(name, fams)
+		f := fams[fam]
+		if f == nil {
+			return fail("sample %s has no TYPE declaration", name)
+		}
+		f.sampled = true
+		if f.typ == "histogram" != (suffix != "") {
+			if suffix == "" {
+				return fail("histogram %s exposed without _bucket/_sum/_count suffix", name)
+			}
+			return fail("%s sample %s uses a histogram suffix", f.typ, name)
+		}
+		key := name + "{" + normalizePromLabels(labels) + "}"
+		if seen[key] {
+			return fail("duplicate series %s", key)
+		}
+		seen[key] = true
+		if suffix != "" {
+			if e := promHistogramSample(f, suffix, labels, value); e != nil {
+				return fail("%s: %v", name, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	for _, fam := range detorder.Keys(fams) {
+		f := fams[fam]
+		if f.typ != "histogram" {
+			continue
+		}
+		for _, ls := range detorder.Keys(f.hist) {
+			st := f.hist[ls]
+			where := fam
+			if ls != "" {
+				where = fam + "{" + ls + "}"
+			}
+			switch {
+			case !st.hasInf:
+				return 0, 0, fmt.Errorf("exposition: histogram %s has no +Inf bucket", where)
+			case st.count == nil:
+				return 0, 0, fmt.Errorf("exposition: histogram %s has no _count", where)
+			case st.sum == nil:
+				return 0, 0, fmt.Errorf("exposition: histogram %s has no _sum", where)
+			//lint:tickdrift exact — validator invariant on parsed counter values, compared verbatim; no arithmetic on either side
+			case st.infCount != *st.count:
+				return 0, 0, fmt.Errorf("exposition: histogram %s: +Inf bucket %g != _count %g",
+					where, st.infCount, *st.count)
+			}
+		}
+	}
+	return len(fams), samples, nil
+}
+
+// promHistogramSample folds one _bucket/_sum/_count sample into its
+// series' invariant state.
+func promHistogramSample(f *promFamilyState, suffix string, labels []promLabel, value float64) error {
+	var le string
+	rest := make([]promLabel, 0, len(labels))
+	for _, l := range labels {
+		if l.name == "le" {
+			le = l.value
+		} else {
+			rest = append(rest, l)
+		}
+	}
+	key := normalizePromLabels(rest)
+	st := f.hist[key]
+	if st == nil {
+		st = &promSeriesState{lastLe: math.Inf(-1)}
+		f.hist[key] = st
+	}
+	switch suffix {
+	case "_bucket":
+		if le == "" {
+			return fmt.Errorf("_bucket sample without le label")
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("unparseable le %q", le)
+		}
+		if st.hasInf {
+			return fmt.Errorf("bucket le=%q after +Inf", le)
+		}
+		if bound <= st.lastLe {
+			return fmt.Errorf("bucket bounds not ascending: le=%q after %g", le, st.lastLe)
+		}
+		if st.buckets > 0 && value < st.lastCount {
+			return fmt.Errorf("cumulative bucket counts decrease at le=%q (%g < %g)", le, value, st.lastCount)
+		}
+		st.lastLe = bound
+		st.lastCount = value
+		st.buckets++
+		if math.IsInf(bound, 1) {
+			st.hasInf = true
+			st.infCount = value
+		}
+	case "_sum":
+		if st.sum != nil {
+			return fmt.Errorf("duplicate _sum")
+		}
+		v := value
+		st.sum = &v
+	case "_count":
+		if st.count != nil {
+			return fmt.Errorf("duplicate _count")
+		}
+		v := value
+		st.count = &v
+	}
+	return nil
+}
+
+// promLabel is one parsed label pair.
+type promLabel struct{ name, value string }
+
+// parsePromComment splits a '#' line into (HELP|TYPE, metric, rest). ok is
+// false for plain comments.
+func parsePromComment(line string) (kind, name, rest string, ok bool) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " ")
+	var k string
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		k = "HELP"
+	case strings.HasPrefix(body, "TYPE "):
+		k = "TYPE"
+	default:
+		return "", "", "", false
+	}
+	body = body[len(k)+1:]
+	i := strings.IndexByte(body, ' ')
+	if i < 0 {
+		return k, body, "", true
+	}
+	return k, body[:i], body[i+1:], true
+}
+
+// parsePromSample parses `name{labels} value [timestamp]`.
+func parsePromSample(line string) (name string, labels []promLabel, value float64, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validPromMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, rest, err = parsePromLabels(rest[1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected `value [timestamp]`, got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parsePromLabels parses the label body after '{' up to and including '}',
+// returning the remainder of the line.
+func parsePromLabels(s string) ([]promLabel, string, error) {
+	var labels []promLabel
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' near %q", s)
+		}
+		lname := strings.TrimRight(s[:eq], " ")
+		if !validPromLabelName(lname) {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		s = strings.TrimLeft(s[eq+1:], " ")
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s value not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("unterminated label value for %s", lname)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in label %s", lname)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %s", s[1], lname)
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		labels = append(labels, promLabel{name: lname, value: val.String()})
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if !strings.HasPrefix(s, "}") {
+			return nil, "", fmt.Errorf("expected ',' or '}' after label %s", lname)
+		}
+	}
+}
+
+// promBaseFamily maps a sample name to its declared family: exact match,
+// or a histogram family's stem when the name carries a histogram suffix.
+func promBaseFamily(name string, fams map[string]*promFamilyState) (fam, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if stem := strings.TrimSuffix(name, suf); stem != name {
+			if f := fams[stem]; f != nil && f.typ == "histogram" {
+				return stem, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+// normalizePromLabels renders a label set in sorted order for
+// duplicate-series comparison.
+func normalizePromLabels(labels []promLabel) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.name + "=" + strconv.Quote(l.value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// validPromMetricName checks [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromMetricName(s string) bool { return validPromName(s, true) }
+
+// validPromLabelName checks [a-zA-Z_][a-zA-Z0-9_]*.
+func validPromLabelName(s string) bool { return validPromName(s, false) }
+
+func validPromName(s string, allowColon bool) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(allowColon && c == ':') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

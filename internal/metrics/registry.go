@@ -22,12 +22,24 @@ import (
 // than panicking: a VM that migrates twice recreates its destination
 // cgroup, and the second registration simply takes over the name.
 type Registry struct {
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	names    []string // registration order, for deterministic export
-	series   map[string]*Series
-	sampling bool
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	names      []string // registration order, for deterministic export
+	series     map[string]*Series
+	sampling   bool
+	sampleHook func()
+}
+
+// SetSampleHook registers a callback invoked after each sampling tick, on
+// the engine goroutine — the safe place to render a snapshot of the
+// registry for consumers on other goroutines (the live /metrics endpoint).
+// One hook; setting replaces. Nil-safe.
+func (r *Registry) SetSampleHook(fn func()) {
+	if r == nil {
+		return
+	}
+	r.sampleHook = fn
 }
 
 // NewRegistry returns an empty registry.
@@ -144,19 +156,36 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
+	h := NewHistogram(name, bounds)
+	r.hists[name] = h
+	r.noteName(name)
+	return h
+}
+
+// NewHistogram returns a standalone histogram (not registered anywhere),
+// for callers that want bucketed percentiles without a Registry.
+func NewHistogram(name string, bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	h := &Histogram{
+	return &Histogram{
 		name:   name,
 		bounds: b,
 		counts: make([]int64, len(b)+1),
 		min:    math.Inf(1),
 		max:    math.Inf(-1),
 	}
-	r.hists[name] = h
-	r.noteName(name)
-	return h
+}
+
+// DefaultLatencyBounds is a bucket layout for simulated I/O latencies in
+// seconds. The low range is millisecond-granular: under the default 1 ms
+// tick every latency is a whole number of milliseconds, so distinct fast
+// paths (a staged prefetch hit vs. a two-RTT remote read) land in distinct
+// buckets and interpolated percentiles keep their ordering.
+var DefaultLatencyBounds = []float64{
+	0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.008, 0.010,
+	0.015, 0.020, 0.030, 0.050, 0.075, 0.100, 0.150, 0.250,
+	0.500, 1.0, 2.5, 5.0,
 }
 
 // Observe records one value.
@@ -221,6 +250,37 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// P50 returns the interpolated median.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P90 returns the interpolated 90th percentile.
+func (h *Histogram) P90() float64 { return h.Quantile(0.90) }
+
+// P99 returns the interpolated 99th percentile.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Name returns the histogram's registered name ("" on nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Histograms returns every registered histogram in registration order.
+func (r *Registry) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	var out []*Histogram
+	for _, name := range r.names {
+		if h, ok := r.hists[name]; ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
 // StartSampling registers one engine ticker (with an idle hint, so
 // fast-forward is unaffected) that snapshots every counter and gauge into
 // a per-metric Series each intervalSeconds of simulated time. Instruments
@@ -273,6 +333,9 @@ func (s *registrySampler) Tick(now sim.Time) {
 			s.r.series[name] = sr
 		}
 		sr.Add(t, v)
+	}
+	if s.r.sampleHook != nil {
+		s.r.sampleHook()
 	}
 }
 

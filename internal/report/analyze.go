@@ -1,0 +1,472 @@
+// Post-run span analysis (`agilesim analyze`): reload a span JSONL log and
+// explain, per migration, where the time went. The span layer records a
+// migration as a root span with phase children ("round", "stopped",
+// "stop-and-copy", "cpu-state", "scatter", "push", "residual", "gather"),
+// per-batch transfer spans, demand-fault episodes, and the VMD's device
+// spans ("vmd-read", "vmd-read-batch", "prefetch-window") under the
+// namespace actor "vmd:<vm>". This file turns that tree into:
+//
+//   - the critical path: a backward walk from the migration's end that, at
+//     every instant, descends into the deepest span still running — the
+//     resulting segments exactly tile the migration window, so their
+//     durations sum to the migration's total time, and the portion inside
+//     the stopped window sums to the reported downtime;
+//   - downtime attribution: which spans overlap the VM-stopped window
+//     ("stopped", whose duration IS DowntimeSeconds) and by how much;
+//   - demand-fault latency percentiles from span durations; and
+//   - a wasted-work report: retried demand faults and refuted prefetch
+//     windows (windows that staged fewer pages than they issued).
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"agilemig/internal/metrics"
+	"agilemig/internal/trace"
+)
+
+// PathSegment is one slice of a critical path: the span on the path during
+// [Start, End]. A segment attributed to a span with running children is
+// that span's self time (the gaps its children don't cover).
+type PathSegment struct {
+	SpanID trace.SpanID
+	Name   string
+	Start  float64
+	End    float64
+}
+
+// Seconds returns the segment's width.
+func (s PathSegment) Seconds() float64 { return s.End - s.Start }
+
+// SpanOverlap records how much of one span lies inside the stopped window.
+type SpanOverlap struct {
+	SpanID  trace.SpanID
+	Name    string
+	Start   float64 // clipped to the window
+	End     float64
+	Seconds float64
+}
+
+// MigrationAnalysis is one migration root span, explained.
+type MigrationAnalysis struct {
+	Actor        string
+	Technique    string
+	Start        float64
+	End          float64
+	TotalSeconds float64
+
+	// DowntimeSeconds is the "stopped" child span's duration — by
+	// construction the migration's contribution to Result.DowntimeSeconds.
+	DowntimeSeconds float64
+
+	// CriticalPath tiles [Start, End]; CriticalDowntimeSeconds is the part
+	// of it inside the stopped window, equal to DowntimeSeconds whenever a
+	// stopped window exists (the tiling property).
+	CriticalPath            []PathSegment
+	CriticalDowntimeSeconds float64
+
+	// DowntimeBySpan lists the spans overlapping the stopped window,
+	// largest overlap first.
+	DowntimeBySpan []SpanOverlap
+
+	// Demand-fault latency, from "demand-fault" span durations (exact
+	// percentiles over the recorded episodes; seconds).
+	DemandFaults  int
+	DemandP50     float64
+	DemandP90     float64
+	DemandP99     float64
+	RetriedFaults int
+	// RetriedFaultSeconds is time spent inside demand faults that needed
+	// at least one retry — latency the first request should have covered.
+	RetriedFaultSeconds float64
+
+	// Readahead wasted work on this VM's namespace ("vmd:<actor>").
+	PrefetchWindows int
+	RefutedWindows  int
+	RefutedPages    int64
+
+	// Device demand reads on this VM's namespace.
+	DeviceReads       int
+	DeviceReadMeanSec float64
+}
+
+// SpanAnalysis is the whole-log report.
+type SpanAnalysis struct {
+	Migrations []MigrationAnalysis
+	TotalSpans int
+	OpenSpans  int
+	// Orphans counts spans whose parent ID appears nowhere in the log
+	// (dropped under span-store pressure, or a truncated file).
+	Orphans int
+}
+
+// spanIndex is the reconstructed tree.
+type spanIndex struct {
+	spans    []trace.Span
+	byID     map[trace.SpanID]int
+	children map[trace.SpanID][]int
+}
+
+// maxPathDepth bounds the critical-path recursion; real trees are a few
+// levels deep, so hitting this means a corrupt or adversarial log.
+const maxPathDepth = 64
+
+// AnalyzeSpans builds the per-migration report from a span list (the
+// output of trace.ReadSpansJSONL, (*trace.Trace).Spans(), or
+// Fleet.MergedSpans). Migrations are ordered by (Start, Actor).
+func AnalyzeSpans(spans []trace.Span) *SpanAnalysis {
+	idx := &spanIndex{
+		spans:    spans,
+		byID:     make(map[trace.SpanID]int, len(spans)),
+		children: make(map[trace.SpanID][]int),
+	}
+	a := &SpanAnalysis{TotalSpans: len(spans)}
+	for i := range spans {
+		idx.byID[spans[i].ID] = i
+		if spans[i].Open {
+			a.OpenSpans++
+		}
+	}
+	for i := range spans {
+		p := spans[i].Parent
+		if p == 0 {
+			continue
+		}
+		if _, ok := idx.byID[p]; !ok {
+			a.Orphans++
+			continue
+		}
+		idx.children[p] = append(idx.children[p], i)
+	}
+	// Child lists follow input order; canonicalize by (Start, ID) so the
+	// walk is insensitive to how the log was assembled.
+	//lint:maporder sorted — each child list is sorted independently; iteration order touches nothing else
+	for p := range idx.children {
+		c := idx.children[p]
+		sort.SliceStable(c, func(i, j int) bool {
+			//lint:tickdrift exact — sort comparator over recorded timestamps, compared verbatim; no arithmetic on either side
+			if spans[c[i]].Start != spans[c[j]].Start {
+				return spans[c[i]].Start < spans[c[j]].Start
+			}
+			return spans[c[i]].ID < spans[c[j]].ID
+		})
+	}
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Name != "migration" || sp.Parent != 0 || sp.Open {
+			continue
+		}
+		a.Migrations = append(a.Migrations, analyzeMigration(idx, sp))
+	}
+	sort.SliceStable(a.Migrations, func(i, j int) bool {
+		//lint:tickdrift exact — sort comparator over recorded timestamps, compared verbatim; no arithmetic on either side
+		if a.Migrations[i].Start != a.Migrations[j].Start {
+			return a.Migrations[i].Start < a.Migrations[j].Start
+		}
+		return a.Migrations[i].Actor < a.Migrations[j].Actor
+	})
+	return a
+}
+
+func analyzeMigration(idx *spanIndex, root *trace.Span) MigrationAnalysis {
+	m := MigrationAnalysis{
+		Actor:        root.Actor,
+		Start:        root.Start,
+		End:          root.End,
+		TotalSeconds: root.Seconds(),
+	}
+	if t, ok := root.Attr("technique"); ok {
+		m.Technique = t.Str
+	}
+	m.CriticalPath = idx.criticalPath(root.ID, root.Start, root.End, 0)
+
+	// The stopped window and its attribution.
+	var stopped *trace.Span
+	for _, ci := range idx.children[root.ID] {
+		if idx.spans[ci].Name == "stopped" && !idx.spans[ci].Open {
+			stopped = &idx.spans[ci]
+			break
+		}
+	}
+	if stopped != nil {
+		m.DowntimeSeconds = stopped.Seconds()
+		for _, seg := range m.CriticalPath {
+			m.CriticalDowntimeSeconds += overlap(seg.Start, seg.End, stopped.Start, stopped.End)
+		}
+		idx.walkTree(root.ID, 0, func(sp *trace.Span) {
+			if sp.ID == root.ID || sp.ID == stopped.ID || sp.Open {
+				return
+			}
+			ov := overlap(sp.Start, sp.End, stopped.Start, stopped.End)
+			if ov <= 0 {
+				return
+			}
+			m.DowntimeBySpan = append(m.DowntimeBySpan, SpanOverlap{
+				SpanID:  sp.ID,
+				Name:    sp.Name,
+				Start:   maxf(sp.Start, stopped.Start),
+				End:     minf(sp.End, stopped.End),
+				Seconds: ov,
+			})
+		})
+		sort.SliceStable(m.DowntimeBySpan, func(i, j int) bool {
+			//lint:tickdrift exact — sort comparator over recorded durations, compared verbatim; no arithmetic on either side
+			if m.DowntimeBySpan[i].Seconds != m.DowntimeBySpan[j].Seconds {
+				return m.DowntimeBySpan[i].Seconds > m.DowntimeBySpan[j].Seconds
+			}
+			return m.DowntimeBySpan[i].SpanID < m.DowntimeBySpan[j].SpanID
+		})
+	}
+
+	// Demand-fault latency and retries.
+	var lat []float64
+	for _, ci := range idx.children[root.ID] {
+		sp := &idx.spans[ci]
+		if sp.Name != "demand-fault" || sp.Open {
+			continue
+		}
+		lat = append(lat, sp.Seconds())
+		if sp.NumAttr("retries") > 0 {
+			m.RetriedFaults++
+			m.RetriedFaultSeconds += sp.Seconds()
+		}
+	}
+	m.DemandFaults = len(lat)
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		at := func(q float64) float64 { return lat[int(q*float64(len(lat)-1))] }
+		m.DemandP50, m.DemandP90, m.DemandP99 = at(0.50), at(0.90), at(0.99)
+	}
+
+	// Device-side spans for this VM's namespace.
+	devActor := "vmd:" + root.Actor
+	var readSum float64
+	for i := range idx.spans {
+		sp := &idx.spans[i]
+		if sp.Actor != devActor || sp.Open {
+			continue
+		}
+		switch sp.Name {
+		case "prefetch-window":
+			m.PrefetchWindows++
+			issued, staged := int64(sp.NumAttr("issued")), int64(sp.NumAttr("staged"))
+			if staged < issued {
+				m.RefutedWindows++
+				m.RefutedPages += issued - staged
+			}
+		case "vmd-read", "vmd-read-batch":
+			m.DeviceReads++
+			readSum += sp.Seconds()
+		}
+	}
+	if m.DeviceReads > 0 {
+		m.DeviceReadMeanSec = readSum / float64(m.DeviceReads)
+	}
+	return m
+}
+
+// criticalPath walks backward from hi: at every instant the path sits on
+// the deepest completed descendant still running, and time no child covers
+// is the parent's self time. The returned segments are chronological and
+// exactly tile [lo, hi] — the property the downtime acceptance test rests
+// on. Ties (two children ending together) go to the later-starting, then
+// higher-ID child.
+func (idx *spanIndex) criticalPath(id trace.SpanID, lo, hi float64, depth int) []PathSegment {
+	self := idx.spans[idx.byID[id]]
+	if depth >= maxPathDepth || hi <= lo {
+		if hi <= lo {
+			return nil
+		}
+		return []PathSegment{{SpanID: id, Name: self.Name, Start: lo, End: hi}}
+	}
+	var rev []PathSegment // built back-to-front
+	t := hi
+	for t > lo {
+		best := -1
+		var bestEnd float64
+		for _, ci := range idx.children[id] {
+			c := &idx.spans[ci]
+			if c.Open {
+				continue
+			}
+			cs, ce := maxf(c.Start, lo), minf(c.End, t)
+			if ce <= cs {
+				continue // outside the remaining window, or zero width
+			}
+			switch {
+			case best < 0 || ce > bestEnd:
+				best, bestEnd = ci, ce
+			//lint:tickdrift exact — deterministic tie-break on recorded timestamps, compared verbatim; no arithmetic on either side
+			case ce == bestEnd:
+				b := &idx.spans[best]
+				//lint:tickdrift exact — same tie-break: later-starting, then higher-ID child wins
+				if c.Start > b.Start || (c.Start == b.Start && c.ID > b.ID) {
+					best, bestEnd = ci, ce
+				}
+			}
+		}
+		if best < 0 {
+			rev = append(rev, PathSegment{SpanID: id, Name: self.Name, Start: lo, End: t})
+			break
+		}
+		c := &idx.spans[best]
+		if bestEnd < t {
+			rev = append(rev, PathSegment{SpanID: id, Name: self.Name, Start: bestEnd, End: t})
+		}
+		cs := maxf(c.Start, lo)
+		sub := idx.criticalPath(c.ID, cs, bestEnd, depth+1)
+		for i := len(sub) - 1; i >= 0; i-- {
+			rev = append(rev, sub[i])
+		}
+		t = cs
+	}
+	out := make([]PathSegment, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// walkTree visits every descendant of id (including id itself).
+func (idx *spanIndex) walkTree(id trace.SpanID, depth int, fn func(*trace.Span)) {
+	if depth >= maxPathDepth {
+		return
+	}
+	fn(&idx.spans[idx.byID[id]])
+	for _, ci := range idx.children[id] {
+		idx.walkTree(idx.spans[ci].ID, depth+1, fn)
+	}
+}
+
+func overlap(aLo, aHi, bLo, bHi float64) float64 {
+	lo, hi := maxf(aLo, bLo), minf(aHi, bHi)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderSpanAnalysis prints the analysis: one summary table over all
+// migrations, then per migration the critical path aggregated by span name
+// and the downtime attribution.
+func RenderSpanAnalysis(w io.Writer, a *SpanAnalysis) {
+	st := metrics.NewTable("Migration span analysis",
+		"migration", "technique", "total (s)", "downtime (s)", "critical stop (s)",
+		"faults", "fault p50/p99 (ms)", "retried", "windows", "refuted", "dev reads")
+	for i := range a.Migrations {
+		m := &a.Migrations[i]
+		st.AddF(m.Actor, m.Technique,
+			fmt.Sprintf("%.2f", m.TotalSeconds),
+			fmt.Sprintf("%.3f", m.DowntimeSeconds),
+			fmt.Sprintf("%.3f", m.CriticalDowntimeSeconds),
+			m.DemandFaults,
+			fmt.Sprintf("%.1f/%.1f", m.DemandP50*1000, m.DemandP99*1000),
+			m.RetriedFaults, m.PrefetchWindows, m.RefutedWindows, m.DeviceReads)
+	}
+	fmt.Fprint(w, st.String())
+	fmt.Fprintf(w, "%d spans, %d open, %d orphaned\n", a.TotalSpans, a.OpenSpans, a.Orphans)
+
+	for i := range a.Migrations {
+		m := &a.Migrations[i]
+		fmt.Fprintln(w)
+		cp := metrics.NewTable(
+			fmt.Sprintf("%s critical path (by span; %d segments)", m.Actor, len(m.CriticalPath)),
+			"span", "segments", "seconds", "share %")
+		type agg struct {
+			n   int
+			sec float64
+		}
+		names := []string{}
+		byName := map[string]*agg{}
+		for _, seg := range m.CriticalPath {
+			g := byName[seg.Name]
+			if g == nil {
+				g = &agg{}
+				byName[seg.Name] = g
+				names = append(names, seg.Name)
+			}
+			g.n++
+			g.sec += seg.Seconds()
+		}
+		for _, name := range names {
+			g := byName[name]
+			share := 0.0
+			if m.TotalSeconds > 0 {
+				share = 100 * g.sec / m.TotalSeconds
+			}
+			cp.AddF(name, g.n, fmt.Sprintf("%.3f", g.sec), fmt.Sprintf("%.1f", share))
+		}
+		fmt.Fprint(w, cp.String())
+		if len(m.DowntimeBySpan) > 0 {
+			dt := metrics.NewTable(
+				fmt.Sprintf("%s downtime attribution (%.3fs stopped)", m.Actor, m.DowntimeSeconds),
+				"span", "id", "overlap (s)")
+			limit := len(m.DowntimeBySpan)
+			if limit > 10 {
+				limit = 10
+			}
+			for _, ov := range m.DowntimeBySpan[:limit] {
+				dt.AddF(ov.Name, int(ov.SpanID), fmt.Sprintf("%.3f", ov.Seconds))
+			}
+			if rest := len(m.DowntimeBySpan) - limit; rest > 0 {
+				dt.AddF("…", "", fmt.Sprintf("(+%d more)", rest))
+			}
+			fmt.Fprint(w, dt.String())
+		}
+		if m.RetriedFaults > 0 || m.RefutedWindows > 0 {
+			fmt.Fprintf(w, "wasted work: %d retried faults (%.3fs), %d/%d prefetch windows refuted (%d pages)\n",
+				m.RetriedFaults, m.RetriedFaultSeconds, m.RefutedWindows, m.PrefetchWindows, m.RefutedPages)
+		}
+	}
+}
+
+// WriteSpanAnalysisCSV writes the analysis as one flat CSV: summary rows,
+// every critical-path segment, and every downtime overlap, in a fully
+// deterministic order (migrations by (Start, Actor), segments
+// chronological) so CI can byte-diff it across runs and shard configs.
+func WriteSpanAnalysisCSV(w io.Writer, a *SpanAnalysis) {
+	t := metrics.NewTable("span analysis",
+		"migration", "technique", "section", "index", "name", "start", "end", "seconds")
+	f := func(v float64) string { return fmt.Sprintf("%.6f", v) }
+	for i := range a.Migrations {
+		m := &a.Migrations[i]
+		add := func(section string, index int, name string, start, end, sec float64) {
+			t.AddF(m.Actor, m.Technique, section, index, name, f(start), f(end), f(sec))
+		}
+		add("summary", 0, "total", m.Start, m.End, m.TotalSeconds)
+		add("summary", 1, "downtime", 0, 0, m.DowntimeSeconds)
+		add("summary", 2, "critical-downtime", 0, 0, m.CriticalDowntimeSeconds)
+		add("summary", 3, "demand-p50", 0, 0, m.DemandP50)
+		add("summary", 4, "demand-p90", 0, 0, m.DemandP90)
+		add("summary", 5, "demand-p99", 0, 0, m.DemandP99)
+		add("summary", 6, "retried-faults", 0, 0, float64(m.RetriedFaults))
+		add("summary", 7, "retried-seconds", 0, 0, m.RetriedFaultSeconds)
+		add("summary", 8, "prefetch-windows", 0, 0, float64(m.PrefetchWindows))
+		add("summary", 9, "refuted-windows", 0, 0, float64(m.RefutedWindows))
+		add("summary", 10, "refuted-pages", 0, 0, float64(m.RefutedPages))
+		add("summary", 11, "device-reads", 0, 0, float64(m.DeviceReads))
+		for j, seg := range m.CriticalPath {
+			add("critical-path", j, seg.Name, seg.Start, seg.End, seg.Seconds())
+		}
+		for j, ov := range m.DowntimeBySpan {
+			add("downtime-overlap", j, ov.Name, ov.Start, ov.End, ov.Seconds)
+		}
+	}
+	t.WriteCSV(w)
+}

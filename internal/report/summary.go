@@ -58,10 +58,38 @@ func Summary(w io.Writer, tb *cluster.Testbed, tr *trace.Trace) {
 
 	VMDSummary(w, tb)
 
+	if reg := tb.Cfg.Metrics; reg != nil {
+		HistogramDigest(w, reg)
+	}
+
 	if tr != nil {
 		fmt.Fprintln(w)
 		TraceDigest(w, tr)
 	}
+}
+
+// HistogramDigest renders every registered histogram's count, mean, and
+// interpolated p50/p90/p99 — the one place percentile math lives, so
+// experiments stop hand-rolling it. Histograms with no observations are
+// elided; if none have data, nothing prints.
+func HistogramDigest(w io.Writer, reg *metrics.Registry) {
+	hists := reg.Histograms()
+	t := metrics.NewTable("Latency histograms",
+		"histogram", "count", "mean (ms)", "p50 (ms)", "p90 (ms)", "p99 (ms)")
+	rows := 0
+	for _, h := range hists {
+		if h.Count() == 0 {
+			continue
+		}
+		ms := func(v float64) string { return fmt.Sprintf("%.2f", v*1000) }
+		t.AddF(h.Name(), h.Count(), ms(h.Mean()), ms(h.P50()), ms(h.P90()), ms(h.P99()))
+		rows++
+	}
+	if rows == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, t.String())
 }
 
 // VMDSummary prints the far-memory store's counters: per-client transfer
@@ -130,5 +158,37 @@ func TraceDigest(w io.Writer, tr *trace.Trace) {
 	fmt.Fprintln(w)
 	for _, k := range kinds {
 		fmt.Fprintf(w, "  %-16s %d\n", k.String(), counts[k])
+	}
+	SpanDigest(w, tr)
+}
+
+// SpanDigest prints per-name span counts plus the open and dropped
+// counters. Open spans after a completed run mean an abort or a bug;
+// non-zero drops mean the span store hit its cap and the NEWEST spans were
+// discarded — analysis on such a log is partial.
+func SpanDigest(w io.Writer, tr *trace.Trace) {
+	spans := tr.Spans()
+	if len(spans) == 0 && tr.SpanDrops() == 0 {
+		return
+	}
+	counts := make(map[string]int)
+	var names []string
+	for i := range spans {
+		if counts[spans[i].Name] == 0 {
+			names = append(names, spans[i].Name)
+		}
+		counts[spans[i].Name]++
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "Spans: %d recorded", len(spans))
+	if o := tr.OpenSpans(); o > 0 {
+		fmt.Fprintf(w, ", %d still open", o)
+	}
+	if d := tr.SpanDrops(); d > 0 {
+		fmt.Fprintf(w, " (WARNING: %d newest spans dropped at the %d-span cap; raise the trace capacity for complete analysis)", d, tr.SpanCap())
+	}
+	fmt.Fprintln(w)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-16s %d\n", n, counts[n])
 	}
 }

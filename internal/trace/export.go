@@ -34,6 +34,7 @@ type chromeEvent struct {
 	PID   int                    `json:"pid"`
 	TID   int                    `json:"tid"`
 	Scope string                 `json:"s,omitempty"`
+	ID    int                    `json:"id,omitempty"` // async ("b"/"e") pair key
 	Args  map[string]interface{} `json:"args,omitempty"`
 }
 
@@ -57,10 +58,10 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 	order := []string{}
 	out := []chromeEvent{}
 
-	stateFor := func(e *Event) *actorState {
-		key := e.Actor
+	lookup := func(actor string, scope Scope) *actorState {
+		key := actor
 		if key == "" {
-			key = e.Scope.String()
+			key = scope.String()
 		}
 		st, ok := actors[key]
 		if !ok {
@@ -68,8 +69,8 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 			actors[key] = st
 			order = append(order, key)
 			name := key
-			if e.Actor != "" {
-				name = e.Scope.String() + ": " + e.Actor
+			if actor != "" {
+				name = scope.String() + ": " + actor
 			}
 			out = append(out, chromeEvent{
 				Name:  "process_name",
@@ -81,6 +82,7 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 		}
 		return st
 	}
+	stateFor := func(e *Event) *actorState { return lookup(e.Actor, e.Scope) }
 
 	instant := func(st *actorState, e *Event) {
 		args := map[string]interface{}{}
@@ -161,6 +163,36 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 		}
 	}
 
+	// Structured spans export as async begin/end pairs keyed by span ID:
+	// Perfetto renders them as nested duration tracks without disturbing the
+	// "X" slices derived from point events above. Open spans are skipped —
+	// an unmatched "b" renders as garbage in most viewers.
+	for i := range t.Spans() {
+		sp := &t.Spans()[i]
+		if sp.Open {
+			continue
+		}
+		st := lookup(sp.Actor, sp.Scope)
+		args := map[string]interface{}{}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value()
+		}
+		if sp.Parent != 0 {
+			args["parent"] = float64(sp.Parent)
+		}
+		out = append(out,
+			chromeEvent{
+				Name: sp.Name, Cat: "span", Phase: "b",
+				TS: sp.Start * usec, PID: st.pid, TID: 1,
+				ID: int(sp.ID), Args: args,
+			},
+			chromeEvent{
+				Name: sp.Name, Cat: "span", Phase: "e",
+				TS: sp.End * usec, PID: st.pid, TID: 1,
+				ID: int(sp.ID),
+			})
+	}
+
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]interface{}{
 		"traceEvents":     out,
@@ -177,23 +209,50 @@ type JSONLEvent struct {
 	Detail string  `json:"detail,omitempty"`
 }
 
+// JSONLSpan is the shape of one span line written by WriteJSONL,
+// distinguished from event lines by the "span":true discriminator.
+type JSONLSpan struct {
+	SpanMark bool                   `json:"span"`
+	ID       int32                  `json:"id"`
+	Parent   int32                  `json:"parent,omitempty"`
+	Name     string                 `json:"name"`
+	Scope    string                 `json:"scope"`
+	Actor    string                 `json:"actor,omitempty"`
+	Start    float64                `json:"start"`
+	End      float64                `json:"end"`
+	Open     bool                   `json:"open,omitempty"`
+	Attrs    map[string]interface{} `json:"attrs,omitempty"`
+}
+
 // JSONLSummary is the trailer line written by WriteJSONL, carrying ring
-// health so a consumer can tell whether the log is complete.
+// health so a consumer can tell whether the log is complete. The span
+// fields are omitted when zero, so span-free logs are byte-identical to
+// logs written before spans existed.
 type JSONLSummary struct {
-	Summary bool  `json:"summary"`
-	Events  int   `json:"events"`
-	Drops   int64 `json:"drops"`
+	Summary   bool  `json:"summary"`
+	Events    int   `json:"events"`
+	Drops     int64 `json:"drops"`
+	Spans     int   `json:"spans,omitempty"`
+	SpanDrops int64 `json:"spanDrops,omitempty"`
+	OpenSpans int   `json:"openSpans,omitempty"`
 }
 
 // WriteJSONL writes the trace as line-delimited JSON: one JSONLEvent per
-// event, oldest first, then one JSONLSummary trailer.
+// event, oldest first, then one JSONLSpan per recorded span in begin
+// order, then one JSONLSummary trailer.
 func WriteJSONL(w io.Writer, t *Trace) error {
-	return WriteEventsJSONL(w, t.Events(), t.Drops())
+	return WriteEventsSpansJSONL(w, t.Events(), t.Spans(), t.Drops(), t.SpanDrops(), t.OpenSpans())
 }
 
 // WriteEventsJSONL writes an already-assembled event slice — typically the
 // output of MergeByTime over per-shard traces — in the WriteJSONL format.
 func WriteEventsJSONL(w io.Writer, events []Event, drops int64) error {
+	return WriteEventsSpansJSONL(w, events, nil, drops, 0, 0)
+}
+
+// WriteEventsSpansJSONL writes assembled event and span slices (typically
+// MergeByTime and MergeSpans output) in the WriteJSONL format.
+func WriteEventsSpansJSONL(w io.Writer, events []Event, spans []Span, drops, spanDrops int64, openSpans int) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := range events {
@@ -209,8 +268,40 @@ func WriteEventsJSONL(w io.Writer, events []Event, drops int64) error {
 			return err
 		}
 	}
-	if err := enc.Encode(JSONLSummary{Summary: true, Events: len(events), Drops: drops}); err != nil {
+	for i := range spans {
+		if err := enc.Encode(jsonlSpan(&spans[i])); err != nil {
+			return err
+		}
+	}
+	sum := JSONLSummary{
+		Summary: true, Events: len(events), Drops: drops,
+		Spans: len(spans), SpanDrops: spanDrops, OpenSpans: openSpans,
+	}
+	if err := enc.Encode(sum); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// jsonlSpan converts a recorded span to its wire shape. The attrs map is
+// safe for determinism: encoding/json writes object keys sorted.
+func jsonlSpan(sp *Span) JSONLSpan {
+	rec := JSONLSpan{
+		SpanMark: true,
+		ID:       int32(sp.ID),
+		Parent:   int32(sp.Parent),
+		Name:     sp.Name,
+		Scope:    sp.Scope.String(),
+		Actor:    sp.Actor,
+		Start:    sp.Start,
+		End:      sp.End,
+		Open:     sp.Open,
+	}
+	if len(sp.Attrs) > 0 {
+		rec.Attrs = make(map[string]interface{}, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			rec.Attrs[a.Key] = a.Value()
+		}
+	}
+	return rec
 }

@@ -1,0 +1,132 @@
+// Ingest: the read side of the JSONL export, used by `agilesim analyze` to
+// reload span logs after a run. Only span lines and the summary trailer are
+// decoded; event lines are counted and skipped (analyze works on spans).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonlLine is the superset shape used to classify a line before decoding
+// it properly: the "span" and "summary" discriminators never collide.
+type jsonlLine struct {
+	Span    bool `json:"span"`
+	Summary bool `json:"summary"`
+}
+
+// ReadSpansJSONL decodes the spans and summary trailer from a WriteJSONL
+// (or WriteEventsSpansJSONL) log. Event lines are skipped but counted into
+// the returned summary's Events field when no trailer is present. Spans are
+// returned in file order, which is begin order for single-trace logs and
+// merged order for fleet logs.
+func ReadSpansJSONL(r io.Reader) ([]Span, JSONLSummary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var spans []Span
+	var sum JSONLSummary
+	sawTrailer := false
+	events := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var disc jsonlLine
+		if err := json.Unmarshal(raw, &disc); err != nil {
+			return nil, sum, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		switch {
+		case disc.Summary:
+			if err := json.Unmarshal(raw, &sum); err != nil {
+				return nil, sum, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			sawTrailer = true
+		case disc.Span:
+			var js JSONLSpan
+			if err := json.Unmarshal(raw, &js); err != nil {
+				return nil, sum, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			sp, err := spanFromJSONL(&js)
+			if err != nil {
+				return nil, sum, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			spans = append(spans, sp)
+		default:
+			events++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, sum, err
+	}
+	if !sawTrailer {
+		sum.Events = events
+		sum.Spans = len(spans)
+	}
+	return spans, sum, nil
+}
+
+// spanFromJSONL converts a wire span back to the in-memory shape. Attrs
+// come back from a JSON object, so key order is re-canonicalised by
+// sorting — the writer emitted them sorted too (encoding/json).
+func spanFromJSONL(js *JSONLSpan) (Span, error) {
+	scope, err := scopeFromString(js.Scope)
+	if err != nil {
+		return Span{}, err
+	}
+	sp := Span{
+		ID:     SpanID(js.ID),
+		Parent: SpanID(js.Parent),
+		Name:   js.Name,
+		Scope:  scope,
+		Actor:  js.Actor,
+		Start:  js.Start,
+		End:    js.End,
+		Open:   js.Open,
+	}
+	if len(js.Attrs) > 0 {
+		keys := make([]string, 0, len(js.Attrs))
+		//lint:maporder sorted — keys are collected only to be sorted on the next line
+		for k := range js.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch v := js.Attrs[k].(type) {
+			case float64:
+				sp.Attrs = append(sp.Attrs, Num(k, v))
+			case string:
+				sp.Attrs = append(sp.Attrs, Str(k, v))
+			case bool:
+				if v {
+					sp.Attrs = append(sp.Attrs, Num(k, 1))
+				} else {
+					sp.Attrs = append(sp.Attrs, Num(k, 0))
+				}
+			default:
+				return Span{}, fmt.Errorf("span %d: attr %q has unsupported type %T", js.ID, k, v)
+			}
+		}
+	}
+	return sp, nil
+}
+
+// scopeFromString inverts Scope.String.
+func scopeFromString(s string) (Scope, error) {
+	switch s {
+	case "cluster":
+		return ScopeCluster, nil
+	case "host":
+		return ScopeHost, nil
+	case "vm":
+		return ScopeVM, nil
+	case "device":
+		return ScopeDevice, nil
+	}
+	return 0, fmt.Errorf("unknown scope %q", s)
+}

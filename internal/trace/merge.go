@@ -28,3 +28,53 @@ func MergeByTime(traces ...*Trace) []Event {
 	})
 	return out
 }
+
+// MergeSpans combines the spans of several traces into one list ordered by
+// (Start, Scope, Actor) — stable, so each trace's begin order breaks ties —
+// with IDs renumbered 1..n and parent links remapped per source trace.
+// Span IDs are only unique within one Trace, so concatenating without the
+// remap would cross-wire parentage between cells. Like MergeByTime, the
+// result is independent of shard packing because each actor's spans live in
+// exactly one trace.
+func MergeSpans(traces ...*Trace) []Span {
+	type tagged struct {
+		src  int
+		span Span
+	}
+	var all []tagged
+	for ti, t := range traces {
+		for _, sp := range t.Spans() {
+			all = append(all, tagged{src: ti, span: sp})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := &all[i].span, &all[j].span
+		//lint:tickdrift exact — sort comparator over recorded timestamps, compared verbatim; no arithmetic on either side
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Scope != b.Scope {
+			return a.Scope < b.Scope
+		}
+		return a.Actor < b.Actor
+	})
+	// Renumber in merged order; remap parents within each source trace.
+	type key struct {
+		src int
+		id  SpanID
+	}
+	remap := make(map[key]SpanID, len(all))
+	for i := range all {
+		remap[key{all[i].src, all[i].span.ID}] = SpanID(i + 1)
+	}
+	out := make([]Span, len(all))
+	for i := range all {
+		sp := all[i].span
+		sp.ID = SpanID(i + 1)
+		if sp.Parent != 0 {
+			sp.Parent = remap[key{all[i].src, sp.Parent}] // 0 if parent was dropped
+		}
+		out[i] = sp
+	}
+	return out
+}

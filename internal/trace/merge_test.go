@@ -1,0 +1,110 @@
+package trace
+
+import "testing"
+
+func TestMergeByTimeEqualTimestamps(t *testing.T) {
+	// Two cells record events at the same instant: the canonical order is
+	// (T, Scope, Actor), regardless of which trace held which.
+	a := New(8)
+	a.Emitter(ScopeVM, "vm-b").Emit(1.0, RoundStart, "cell-a")
+	a.Emitter(ScopeHost, "host-z").Emit(1.0, RoundStart, "cell-a")
+	b := New(8)
+	b.Emitter(ScopeVM, "vm-a").Emit(1.0, RoundStart, "cell-b")
+
+	got := MergeByTime(a, b)
+	if len(got) != 3 {
+		t.Fatalf("%d events", len(got))
+	}
+	if got[0].Scope != ScopeHost {
+		t.Fatalf("scope order lost: %+v", got)
+	}
+	if got[1].Actor != "vm-a" || got[2].Actor != "vm-b" {
+		t.Fatalf("actor tie-break lost: %s then %s", got[1].Actor, got[2].Actor)
+	}
+	// Swapping the argument order must not change the merged output.
+	swapped := MergeByTime(b, a)
+	for i := range got {
+		if got[i] != swapped[i] {
+			t.Fatalf("merge depends on input order at %d: %+v vs %+v", i, got[i], swapped[i])
+		}
+	}
+}
+
+func TestMergeByTimeEmptyAndNilSinks(t *testing.T) {
+	a := New(8)
+	a.Emitter(ScopeVM, "vm0").Emit(2.0, Suspend, "x")
+	if got := MergeByTime(New(8), a, nil, New(8)); len(got) != 1 || got[0].Detail != "x" {
+		t.Fatalf("empty/nil sinks mishandled: %+v", got)
+	}
+	if got := MergeByTime(); got != nil {
+		t.Fatalf("merge of nothing = %+v", got)
+	}
+	if got := MergeByTime(New(8), New(8)); len(got) != 0 {
+		t.Fatalf("merge of empties = %+v", got)
+	}
+}
+
+func TestMergeByTimeSingleEventSinks(t *testing.T) {
+	// One event per sink, deliberately fed out of time order.
+	mk := func(ts float64, actor string) *Trace {
+		tr := New(4)
+		tr.Emitter(ScopeVM, actor).Emit(ts, RoundStart, "")
+		return tr
+	}
+	got := MergeByTime(mk(3.0, "c"), mk(1.0, "a"), mk(2.0, "b"))
+	if len(got) != 3 || got[0].Actor != "a" || got[1].Actor != "b" || got[2].Actor != "c" {
+		t.Fatalf("single-event sinks misordered: %+v", got)
+	}
+}
+
+func TestMergeSpansRenumbersAndRemapsParents(t *testing.T) {
+	// Two cells, overlapping span IDs; the merge must renumber 1..n and
+	// keep each child pointing at its own cell's parent.
+	a := New(8)
+	ea := a.SpanEmitter(ScopeVM, "vm-a")
+	ra := ea.Begin(1.0, "migration", 0)
+	ca := ea.Begin(2.0, "round", ra)
+	ea.End(3.0, ca)
+	ea.End(4.0, ra)
+
+	b := New(8)
+	eb := b.SpanEmitter(ScopeVM, "vm-b")
+	rb := eb.Begin(1.5, "migration", 0)
+	cb := eb.Begin(2.0, "round", rb)
+	eb.End(2.5, cb)
+	eb.End(3.5, rb)
+
+	got := MergeSpans(a, b)
+	if len(got) != 4 {
+		t.Fatalf("%d spans", len(got))
+	}
+	for i := range got {
+		if got[i].ID != SpanID(i+1) {
+			t.Fatalf("IDs not renumbered: %+v", got)
+		}
+	}
+	byActor := map[string][]Span{}
+	for _, sp := range got {
+		byActor[sp.Actor] = append(byActor[sp.Actor], sp)
+	}
+	for actor, spans := range byActor {
+		if len(spans) != 2 {
+			t.Fatalf("%s: %d spans", actor, len(spans))
+		}
+		root, child := spans[0], spans[1]
+		if root.Name != "migration" || child.Name != "round" {
+			t.Fatalf("%s: begin order lost: %+v", actor, spans)
+		}
+		if child.Parent != root.ID {
+			t.Fatalf("%s: child points at %d, its root is %d", actor, child.Parent, root.ID)
+		}
+	}
+	// Same output regardless of cell packing.
+	swapped := MergeSpans(b, a)
+	for i := range got {
+		if got[i].ID != swapped[i].ID || got[i].Actor != swapped[i].Actor ||
+			got[i].Parent != swapped[i].Parent || got[i].Name != swapped[i].Name {
+			t.Fatalf("merge depends on input order at %d", i)
+		}
+	}
+}

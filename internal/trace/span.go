@@ -1,0 +1,217 @@
+// Structured spans on the event bus: where events are points, spans are
+// intervals — a migration is a root span, its phases (rounds, the stopped
+// window, the push and residual tails), page batches, demand faults and
+// VMD prefetch windows are children. Spans carry parent IDs, deterministic
+// sim-time start/end stamps and typed attributes; the analyze pipeline
+// (internal/report) reconstructs critical paths and downtime attribution
+// from them. Like events, spans cost nothing when tracing is off: a nil
+// Trace hands out a nil SpanEmitter whose methods are no-ops.
+package trace
+
+// SpanID identifies a span within one Trace. 0 means "no span": it is
+// what a disabled emitter's Begin returns, what roots use as their parent,
+// and a safe argument to End/SetAttr.
+type SpanID int32
+
+// Attr is one typed span attribute: either a number or a string. Build
+// them with Num and Str.
+type Attr struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// Num returns a numeric attribute.
+func Num(key string, v float64) Attr { return Attr{Key: key, Num: v, IsNum: true} }
+
+// Str returns a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Str: v} }
+
+// Value returns the attribute's value as an interface (float64 or string),
+// the shape exporters hand to encoding/json.
+func (a Attr) Value() interface{} {
+	if a.IsNum {
+		return a.Num
+	}
+	return a.Str
+}
+
+// Span is one recorded interval. Start and End are simulated seconds; an
+// open span (ended never, or not yet) has Open set and End equal to Start.
+type Span struct {
+	ID     SpanID
+	Parent SpanID // 0 for roots
+	Name   string
+	Scope  Scope
+	Actor  string
+	Start  float64
+	End    float64
+	Open   bool
+	Attrs  []Attr
+}
+
+// Seconds returns the span's duration (0 while open).
+func (s *Span) Seconds() float64 {
+	if s.Open {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Attr returns the value of the named attribute and whether it is set.
+func (s *Span) Attr(key string) (Attr, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// NumAttr returns the named numeric attribute's value (0 when absent or a
+// string).
+func (s *Span) NumAttr(key string) float64 {
+	a, ok := s.Attr(key)
+	if !ok || !a.IsNum {
+		return 0
+	}
+	return a.Num
+}
+
+// spanStore is the Trace's span side: an append-only bounded slice. Unlike
+// the event ring, which drops oldest (recent events matter most when
+// something breaks), the span store drops newest: the structural spans —
+// the migration root and its phases — begin early, and dropping them would
+// orphan everything recorded after.
+//
+// Begin returns 0 once the store is full, so children of a dropped span
+// attach to the root level rather than to a dangling ID; every drop is
+// counted. Device-scope spans (per-page VMD reads, prefetch windows) are
+// high-volume bulk traffic: they may only fill half the store, so a long
+// pre-migration warmup full of demand reads cannot starve the migration
+// tree recorded after it.
+
+// Spans returns the recorded spans in begin order. The slice aliases
+// internal storage (spans are append-only; entries mutate only on End).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// SpanDrops returns how many Begin calls were refused because the span
+// store was full.
+func (t *Trace) SpanDrops() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.spanDrops
+}
+
+// OpenSpans returns how many recorded spans have not ended.
+func (t *Trace) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	return t.openSpans
+}
+
+// SpanCap returns the span store's capacity (the event ring's capacity:
+// one -trace-buf knob bounds both sides of the bus).
+func (t *Trace) SpanCap() int {
+	if t == nil {
+		return 0
+	}
+	return t.max
+}
+
+// SpanEmitter is a scoped handle recording spans into a Trace, carrying
+// the actor identity like Emitter does for events. A nil SpanEmitter (what
+// a nil Trace hands out) is a no-op; hot paths should guard attribute
+// construction with Enabled() so nothing is built when tracing is off.
+type SpanEmitter struct {
+	tr    *Trace
+	scope Scope
+	actor string
+}
+
+// SpanEmitter returns a span emitter recording into t under the given
+// scope and actor name. A nil Trace returns a nil (no-op) emitter.
+func (t *Trace) SpanEmitter(scope Scope, actor string) *SpanEmitter {
+	if t == nil {
+		return nil
+	}
+	return &SpanEmitter{tr: t, scope: scope, actor: actor}
+}
+
+// Enabled reports whether spans begun here are recorded anywhere.
+func (e *SpanEmitter) Enabled() bool { return e != nil }
+
+// Begin opens a span at now under the given parent (0 for a root) and
+// returns its ID — 0 when the emitter is nil or the store is full, which
+// every other method accepts silently.
+func (e *SpanEmitter) Begin(now float64, name string, parent SpanID, attrs ...Attr) SpanID {
+	if e == nil {
+		return 0
+	}
+	t := e.tr
+	limit := t.max
+	if e.scope == ScopeDevice {
+		limit = t.max / 2
+	}
+	if len(t.spans) >= limit {
+		t.spanDrops++
+		return 0
+	}
+	id := SpanID(len(t.spans) + 1)
+	sp := Span{
+		ID: id, Parent: parent, Name: name,
+		Scope: e.scope, Actor: e.actor,
+		Start: now, End: now, Open: true,
+	}
+	if len(attrs) > 0 {
+		sp.Attrs = append([]Attr(nil), attrs...)
+	}
+	t.spans = append(t.spans, sp)
+	t.openSpans++
+	return id
+}
+
+// End closes the span at now, appending any final attributes. Ending a
+// span twice, ending id 0, or ending through a nil emitter is a no-op.
+func (e *SpanEmitter) End(now float64, id SpanID, attrs ...Attr) {
+	if e == nil || id == 0 {
+		return
+	}
+	sp := &e.tr.spans[id-1]
+	if !sp.Open {
+		return
+	}
+	sp.Open = false
+	sp.End = now
+	for _, a := range attrs {
+		setAttr(sp, a)
+	}
+	e.tr.openSpans--
+}
+
+// SetAttr sets (or replaces, by key) one attribute on an open or closed
+// span. No-op on a nil emitter or id 0.
+func (e *SpanEmitter) SetAttr(id SpanID, a Attr) {
+	if e == nil || id == 0 {
+		return
+	}
+	setAttr(&e.tr.spans[id-1], a)
+}
+
+func setAttr(sp *Span, a Attr) {
+	for i := range sp.Attrs {
+		if sp.Attrs[i].Key == a.Key {
+			sp.Attrs[i] = a
+			return
+		}
+	}
+	sp.Attrs = append(sp.Attrs, a)
+}

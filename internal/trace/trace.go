@@ -249,6 +249,12 @@ type Trace struct {
 	head   int // index of the oldest event once the ring has wrapped
 	max    int
 	drops  int64
+
+	// Span side (see span.go): append-only, bounded by the same max,
+	// dropping newest rather than oldest.
+	spans     []Span
+	spanDrops int64
+	openSpans int
 }
 
 // DefaultCapacity bounds a trace when 0 is passed to New. It fits a single

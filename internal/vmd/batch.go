@@ -332,6 +332,7 @@ func (ns *Namespace) ReadBatch(c *Client, offs []uint32, fn func()) {
 	if int(offs[len(offs)-1]) >= len(ns.placement) {
 		panic("vmd: read past end of namespace")
 	}
+	fn = ns.wrapReadSpan(fn, offs[0], len(offs))
 	remaining := len(offs)
 	each := ns.wrapLatency(func() {
 		remaining--

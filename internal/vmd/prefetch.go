@@ -34,6 +34,12 @@ type prefetcher struct {
 	hits   int64 // demand reads served from staging
 	misses int64 // demand reads that had to go to the store
 	wasted int64 // staged/fetched pages discarded unused
+
+	// Per-window span accounting: the current window's span and how many of
+	// its pages actually reached staging (a window that stages fewer pages
+	// than it issued was partly refuted by invalidations or timeouts).
+	windowSpan   trace.SpanID
+	windowStaged int
 }
 
 // prefFor returns (lazily creating) the client's prefetcher. Callers gate
@@ -61,7 +67,9 @@ func (pf *prefetcher) clear() {
 	pf.clearCache()
 	pf.seen = false
 	pf.run = 0
-	pf.busy = false
+	if pf.busy {
+		pf.endWindow()
+	}
 }
 
 // take consumes a staged page, reporting whether the read is a staging
@@ -159,7 +167,24 @@ func (pf *prefetcher) maybeIssue(off uint32) {
 	if ns.em.Enabled() {
 		ns.em.Emitf(ns.vmd.eng.NowSeconds(), trace.VMDPrefetch, "readahead of %d pages from offset %d (dir %+d) for %s", len(batch), batch[0], pf.dir, pf.c.name)
 	}
+	pf.windowStaged = 0
+	if ns.sp.Enabled() {
+		pf.windowSpan = ns.sp.Begin(ns.vmd.eng.NowSeconds(), "prefetch-window", 0,
+			trace.Num("from", float64(batch[0])),
+			trace.Num("issued", float64(len(batch))))
+	}
 	pf.fetch(batch)
+}
+
+// endWindow closes the window: the next one may issue, and the window span
+// records how much of the issued readahead actually landed in staging.
+func (pf *prefetcher) endWindow() {
+	pf.busy = false
+	if pf.windowSpan != 0 {
+		pf.ns.sp.End(pf.ns.vmd.eng.NowSeconds(), pf.windowSpan,
+			trace.Num("staged", float64(pf.windowStaged)))
+		pf.windowSpan = 0
+	}
 }
 
 // fetch pulls a window into the staging cache, grouping contiguous
@@ -172,7 +197,7 @@ func (pf *prefetcher) fetch(batch []uint32) {
 	finishGroup := func() {
 		groups--
 		if groups == 0 {
-			pf.busy = false
+			pf.endWindow()
 		}
 	}
 	i := 0
@@ -195,7 +220,7 @@ func (pf *prefetcher) fetch(batch []uint32) {
 		pf.fetchRun(v.servers[sIdx], run, finishGroup)
 	}
 	if groups == 0 {
-		pf.busy = false
+		pf.endWindow()
 	}
 }
 
@@ -254,6 +279,7 @@ func (pf *prefetcher) fetchRun(s *Server, run []uint32, done func()) {
 					delete(pf.inflight, o)
 					pf.staged[o] = true
 					pf.order = append(pf.order, o)
+					pf.windowStaged++
 					c.prefetched++
 				}
 				pf.evictStaging()

@@ -195,6 +195,7 @@ func (ns *Namespace) registerMetrics(reg *metrics.Registry) {
 		return
 	}
 	p := "vmd/" + ns.name + "/"
+	ns.readHist = reg.Histogram(p+"read.latency.seconds", metrics.DefaultLatencyBounds)
 	reg.Gauge(p+"spilled.pages", func() float64 { return float64(ns.spilledPages) })
 	reg.Gauge(p+"lost.pages", func() float64 { return float64(ns.lostPages) })
 	reg.Gauge(p+"rereplicated.pages", func() float64 { return float64(ns.rereplicated) })
@@ -559,6 +560,8 @@ type Namespace struct {
 	stored    int64
 	destroyed bool
 	em        *trace.Emitter
+	sp        *trace.SpanEmitter
+	readHist  *metrics.Histogram // demand-read latency; nil when metrics are off
 
 	spilledPages  int64 // cumulative spills
 	lostPages     int64 // cumulative pages lost to crashes
@@ -595,6 +598,7 @@ func (v *VMD) CreateNamespace(name string, pages int) *Namespace {
 		vmd: v, name: name, k: v.replicas, placement: p, onDisk: mem.NewBitmap(pages),
 		clients: make(map[*Client]bool),
 		em:      v.tr.Emitter(trace.ScopeDevice, "vmd:"+name),
+		sp:      v.tr.SpanEmitter(trace.ScopeDevice, "vmd:"+name),
 		hashKey: sim.SeedForName(ringRoot, "ns:"+name),
 	}
 	if ns.k > 1 {
@@ -1483,6 +1487,7 @@ func (ns *Namespace) Read(c *Client, off uint32, fn func()) {
 		panic("vmd: read past end of namespace")
 	}
 	fn = ns.wrapLatency(fn)
+	fn = ns.wrapReadSpan(fn, off, 1)
 	if ns.vmd.store.Readahead.Enabled {
 		pf := ns.prefFor(c)
 		if pf.take(off) {
@@ -1505,16 +1510,43 @@ func (ns *Namespace) Read(c *Client, off uint32, fn func()) {
 func (ns *Namespace) SetReadLatencySink(fn func(seconds float64)) { ns.latSink = fn }
 
 // wrapLatency stamps a read's issue time and reports its completion
-// latency to the sink; a no-op (returning fn unchanged) when no sink is
-// attached, so v1 runs allocate nothing here.
+// latency to the sink and the registered histogram; a no-op (returning fn
+// unchanged) when neither consumer is attached, so unobserved runs
+// allocate nothing here.
 func (ns *Namespace) wrapLatency(fn func()) func() {
-	if ns.latSink == nil {
+	if ns.latSink == nil && ns.readHist == nil {
 		return fn
 	}
 	eng := ns.vmd.eng
 	start := eng.Now()
 	return func() {
-		ns.latSink(sim.Seconds(eng.Now()-start, eng.TickLen()))
+		lat := sim.Seconds(eng.Now()-start, eng.TickLen())
+		ns.readHist.Observe(lat)
+		if ns.latSink != nil {
+			ns.latSink(lat)
+		}
+		if fn != nil {
+			fn()
+		}
+	}
+}
+
+// wrapReadSpan opens a demand-read span covering the whole read (whatever
+// tier ends up serving it) and closes it when the completion fires. Returns
+// fn unchanged when spans are off, so untraced reads allocate nothing here.
+func (ns *Namespace) wrapReadSpan(fn func(), off uint32, pages int) func() {
+	if !ns.sp.Enabled() {
+		return fn
+	}
+	name := "vmd-read"
+	if pages > 1 {
+		name = "vmd-read-batch"
+	}
+	rsp := ns.sp.Begin(ns.vmd.eng.NowSeconds(), name, 0,
+		trace.Num("offset", float64(off)),
+		trace.Num("pages", float64(pages)))
+	return func() {
+		ns.sp.End(ns.vmd.eng.NowSeconds(), rsp)
 		if fn != nil {
 			fn()
 		}
