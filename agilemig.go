@@ -18,9 +18,12 @@
 //	vm := tb.DeployVM("demo", 2<<30, 768<<20, true)
 //	vm.LoadDataset(1536 << 20)
 //	tb.RunSeconds(120)
-//	tb.Migrate(vm, agilemig.Agile, 768<<20)
-//	tb.RunUntilMigrated(vm, 2000)
-//	fmt.Println(vm.Result)
+//	if _, err := tb.Migrate(vm, agilemig.Agile, 768<<20); err != nil {
+//		log.Fatal(err)
+//	}
+//	if tb.RunUntilMigrated(vm, 2000) == agilemig.OutcomeCompleted {
+//		fmt.Println(vm.Result)
+//	}
 //
 // The experiments reproducing every table and figure of the paper live in
 // internal/experiments and are runnable through cmd/agilesim; the
@@ -71,6 +74,17 @@ type TestbedConfig = cluster.Config
 // VM bundles a deployed VM with its swap namespace, dataset, benchmark
 // client and migration state.
 type VM = cluster.VMHandle
+
+// Outcome is the typed result of Testbed.RunUntilMigrated: completed,
+// aborted (rolled back to the source), or timed out still in flight.
+type Outcome = cluster.Outcome
+
+// The three wait outcomes.
+const (
+	OutcomeCompleted = cluster.OutcomeCompleted
+	OutcomeAborted   = cluster.OutcomeAborted
+	OutcomeTimeout   = cluster.OutcomeTimeout
+)
 
 // ClientConfig shapes a benchmark client.
 type ClientConfig = workload.ClientConfig

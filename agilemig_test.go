@@ -16,8 +16,10 @@ func TestQuickstartPath(t *testing.T) {
 	vm.LoadDataset(768 * MiB)
 	tb.RunSeconds(60)
 
-	tb.Migrate(vm, Agile, 384*MiB)
-	if !tb.RunUntilMigrated(vm, 1200) {
+	if _, err := tb.Migrate(vm, Agile, 384*MiB); err != nil {
+		t.Fatal(err)
+	}
+	if tb.RunUntilMigrated(vm, 1200) != OutcomeCompleted {
 		t.Fatal("quickstart migration did not complete")
 	}
 	r := vm.Result
@@ -64,8 +66,10 @@ func TestTechniqueComparison(t *testing.T) {
 		vm := tb.DeployVM("demo", 2*GiB, 768*MiB, tech == Agile)
 		vm.LoadDataset(1536 * MiB)
 		tb.RunSeconds(120)
-		tb.Migrate(vm, tech, 768*MiB)
-		if !tb.RunUntilMigrated(vm, 4000) {
+		if _, err := tb.Migrate(vm, tech, 768*MiB); err != nil {
+			t.Fatal(err)
+		}
+		if tb.RunUntilMigrated(vm, 4000) != OutcomeCompleted {
 			t.Fatalf("%v did not complete", tech)
 		}
 		results[tech] = vm.Result
@@ -97,7 +101,9 @@ func TestDeterminism(t *testing.T) {
 		// Clients draw from the engine's seeded RNG, so the whole run is
 		// reproducible.
 		tb.RunSeconds(60)
-		tb.Migrate(vm, Agile, 384*MiB)
+		if _, err := tb.Migrate(vm, Agile, 384*MiB); err != nil {
+			t.Fatal(err)
+		}
 		tb.RunUntilMigrated(vm, 1200)
 		return vm.Result
 	}

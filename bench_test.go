@@ -74,7 +74,7 @@ func BenchmarkFig7MigrationTimeVsSize(b *testing.B) {
 		cfg.VMSizes = sweepSizes()
 		rows := experiments.RunSizeSweep(cfg)
 		for _, r := range rows {
-			if r.VMBytes == 12*cluster.GiB && r.Completed {
+			if r.VMBytes == 12*cluster.GiB && r.Completed() {
 				b.ReportMetric(r.TotalSeconds, r.Technique.String()+"-12GB-s")
 			}
 		}

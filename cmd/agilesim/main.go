@@ -85,6 +85,20 @@ import (
 	"agilemig/internal/workload"
 )
 
+// writeNamedFile creates path and runs write against it, exiting on error.
+func writeNamedFile(path string, write func(f *os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agilesim:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "agilesim:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	// `agilesim analyze` is a subcommand with its own flags; dispatch it
 	// before the main flag set sees the arguments.
@@ -110,7 +124,7 @@ func main() {
 	cells := flag.Int("cells", 0, "fleet experiment: migration cells (2 hosts each; 0 = default 32)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: agilesim [-scale f] [-seed n] [-csv file] [-parallel n] [-shards n] [-faults plan] [-replicas k] [-trace-out file] [-trace-jsonl file] [-metrics-out file] [-metrics-addr host:port] [-metrics-hold s] [-cpuprofile file] [-memprofile file] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart recovery vmdsweep fleet demo report all\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 tables fig9 fig10 ablation quickstart recovery vmdsweep fleet drain demo report all\n")
 		fmt.Fprintf(os.Stderr, "       agilesim analyze -spans file.jsonl [-csv out.csv] | analyze -prom metrics.txt\n")
 	}
 	flag.Parse()
@@ -406,11 +420,48 @@ func main() {
 		}
 	}
 
-	if id != "quickstart" && id != "fleet" && (*traceOut != "" || *traceJSONL != "" || *metricsOut != "") {
-		fmt.Fprintln(os.Stderr, "agilesim: -trace-out/-trace-jsonl/-metrics-out attach to the quickstart and fleet experiments; ignoring")
+	runDrain := func() {
+		opt := experiments.DefaultDrainOptions()
+		opt.Scale = *scale
+		opt.Seed = *seed
+		opt.Shards = *shards
+		opt.RackShards = *shards
+		if *cells > 0 {
+			opt.RackCells = *cells
+		}
+		opt.Observe = *traceJSONL != "" || *metricsOut != ""
+		opt.TraceCapacity = *traceBuf
+		rep := experiments.RunDrain(opt)
+		experiments.PrintDrain(out, rep)
+		if csvOut != nil {
+			if err := experiments.WriteDrainCSV(csvOut, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "agilesim: csv:", err)
+			}
+		}
+		if *traceJSONL != "" || *metricsOut != "" {
+			// One stream per policy run, suffixed with the policy name so
+			// both drains stay inspectable side by side.
+			for _, p := range rep.Policies {
+				if *traceJSONL != "" {
+					writeNamedFile(*traceJSONL+"."+p.Policy, func(f *os.File) error {
+						return trace.WriteEventsSpansJSONL(f, p.Trace.Events(), p.Trace.Spans(),
+							p.Trace.Drops(), p.Trace.SpanDrops(), p.Trace.OpenSpans())
+					})
+				}
+				if *metricsOut != "" {
+					writeNamedFile(*metricsOut+"."+p.Policy, func(f *os.File) error {
+						return p.Registry.WriteJSONL(f)
+					})
+				}
+			}
+		}
 	}
-	if id == "fleet" && *traceOut != "" {
-		fmt.Fprintln(os.Stderr, "agilesim: -trace-out (Chrome trace) attaches to the quickstart experiment; fleet writes -trace-jsonl; ignoring")
+
+	if id != "quickstart" && id != "fleet" && id != "drain" && (*traceOut != "" || *traceJSONL != "" || *metricsOut != "") {
+		fmt.Fprintln(os.Stderr, "agilesim: -trace-out/-trace-jsonl/-metrics-out attach to the quickstart, fleet and drain experiments; ignoring")
+	}
+	if (id == "fleet" || id == "drain") && *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "agilesim: -trace-out (Chrome trace) attaches to the quickstart experiment; fleet/drain write -trace-jsonl; ignoring")
 	}
 	if id != "quickstart" && (*metricsAddr != "" || *metricsHold > 0) {
 		fmt.Fprintln(os.Stderr, "agilesim: -metrics-addr/-metrics-hold attach to the quickstart experiment; ignoring")
@@ -458,6 +509,8 @@ func main() {
 		experiments.PrintVMDSweep(out, experiments.RunVMDSweep(vcfg))
 	case "fleet":
 		runFleet()
+	case "drain":
+		runDrain()
 	case "demo", "trace":
 		runDemo()
 	case "report":

@@ -43,9 +43,12 @@ func main() {
 
 		// Let reclaim settle, then migrate.
 		tb.RunSeconds(120)
-		tb.Migrate(vm, tech, 768*cluster.MiB)
-		if !tb.RunUntilMigrated(vm, 2000) {
-			fmt.Fprintf(os.Stderr, "%v migration did not finish\n", tech)
+		if _, err := tb.Migrate(vm, tech, 768*cluster.MiB); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if outcome := tb.RunUntilMigrated(vm, 2000); outcome != cluster.OutcomeCompleted {
+			fmt.Fprintf(os.Stderr, "%v migration did not finish: %v\n", tech, outcome)
 			os.Exit(1)
 		}
 		r := vm.Result

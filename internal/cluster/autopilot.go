@@ -129,7 +129,12 @@ func (a *Autopilot) kick() {
 		destResv = h.VM.Group().ReservationBytes()
 	}
 	a.migrating = h
-	a.tb.Migrate(h, tech, destResv)
+	if _, err := a.tb.Migrate(h, tech, destResv); err != nil {
+		// The VM is already mid-migration (it should not be — the autopilot
+		// serializes its own moves); skip rather than corrupt state.
+		a.migrating = nil
+		return
+	}
 	// Poll for completion; migration callbacks belong to the testbed.
 	a.tb.Eng.Every(a.tb.Eng.SecondsToTicks(1), func(sim.Time) bool {
 		if a.stopped {

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"agilemig/internal/blockdev"
@@ -133,6 +134,10 @@ type Testbed struct {
 	// group is non-nil when Cfg.Shards > 1: Eng is then its shard-0 engine
 	// and runs are driven through the group's window scheduler.
 	group *sim.ShardGroup
+
+	// extra holds hosts added beyond the paper's source/dest pair (drain
+	// scenarios with several candidate destinations), in creation order.
+	extra []*host.Host
 
 	vms map[string]*VMHandle
 }
@@ -270,6 +275,52 @@ func (tb *Testbed) applyFaultPlan(plan *sim.FaultPlan) {
 	}
 }
 
+// AddHost adds a fully wired host beyond the paper's source/dest pair: a
+// NIC on the shared network, a shared swap partition on the testbed's SSD
+// model, a VMD client with local-spill attached, and (when the testbed
+// observes) the trace/metrics hookup — everything Migrate needs to target
+// it as a destination. Drain scenarios use this to model several candidate
+// destinations with heterogeneous RAM and NIC rates.
+func (tb *Testbed) AddHost(name string, ramBytes, netBytesPerSec int64) *host.Host {
+	if tb.HostByName(name) != nil {
+		panic("cluster: duplicate host " + name)
+	}
+	h := host.New(tb.Eng, tb.Net, host.Config{
+		Name: name, RAMBytes: ramBytes,
+		OSOverheadBytes: tb.Cfg.OSOverheadBytes, NetBytesPerSec: netBytesPerSec,
+	})
+	h.ConfigureSharedSwap(tb.Cfg.SSD, tb.Cfg.SwapPartitionBytes)
+	if tb.Cfg.Trace != nil || tb.Cfg.Metrics != nil {
+		h.SetObserver(tb.Cfg.Trace, tb.Cfg.Metrics)
+	}
+	h.SetVMDClient(tb.VMD.NewClient(name, h.NIC(), tb.Cfg.NetLatency))
+	if tb.Cfg.VMD.Tiers.Enabled {
+		h.VMDClient().SetLocalTier(true)
+	}
+	h.VMDClient().AttachSpill(h.SwapDevice())
+	tb.extra = append(tb.extra, h)
+	return h
+}
+
+// Hosts returns every host in the testbed — source, dest, then any added
+// via AddHost — in creation order.
+func (tb *Testbed) Hosts() []*host.Host {
+	out := make([]*host.Host, 0, 2+len(tb.extra))
+	out = append(out, tb.Source, tb.Dest)
+	out = append(out, tb.extra...)
+	return out
+}
+
+// HostByName returns the named host, or nil.
+func (tb *Testbed) HostByName(name string) *host.Host {
+	for _, h := range tb.Hosts() {
+		if h.Name() == name {
+			return h
+		}
+	}
+	return nil
+}
+
 // RunSeconds advances simulated time.
 func (tb *Testbed) RunSeconds(s float64) {
 	if tb.group != nil {
@@ -296,9 +347,22 @@ type VMHandle struct {
 	Result     *core.Result
 	useVMDSwap bool
 
+	// curHost is the host the VM currently executes on; it advances to the
+	// migration destination at switchover.
+	curHost *host.Host
+	// retargets counts client-flow retargetings, for unique flow names when
+	// a VM migrates more than once.
+	retargets int
+	// onDone, when set, fires once after the next migration's OnComplete
+	// (the control plane's completion callback).
+	onDone func(*core.Result)
+
 	srcFlows [2]*simnet.Flow // client <-> source
 	dstFlows [2]*simnet.Flow // client <-> dest
 }
+
+// Host returns the host the VM currently executes on.
+func (h *VMHandle) Host() *host.Host { return h.curHost }
 
 // DeployVM places a VM on the source host. With vmdSwap the VM gets a
 // private VMD namespace as its swap device (the Agile configuration);
@@ -308,7 +372,7 @@ func (tb *Testbed) DeployVM(name string, memBytes, reservationBytes int64, vmdSw
 	if _, dup := tb.vms[name]; dup {
 		panic("cluster: duplicate VM " + name)
 	}
-	h := &VMHandle{tb: tb, useVMDSwap: vmdSwap}
+	h := &VMHandle{tb: tb, useVMDSwap: vmdSwap, curHost: tb.Source}
 	h.VM = guest.New(tb.Eng, name, memBytes)
 	h.NS = tb.VMD.CreateNamespace(name, h.VM.Pages())
 	if vmdSwap {
@@ -363,17 +427,44 @@ func (h *VMHandle) TrackWSS(cfg wss.TrackerConfig) *wss.Tracker {
 	return h.Tracker
 }
 
-// Migrate starts a live migration of the VM from source to dest with the
-// given technique and destination reservation. The benchmark client (if
-// any) retargets its flows at switchover, exactly as an external load
-// balancer would redirect traffic.
-func (tb *Testbed) Migrate(h *VMHandle, tech core.Technique, destReservationBytes int64) *core.Migration {
-	return tb.MigrateTuned(h, tech, destReservationBytes, core.Tuning{})
+// ErrMigrationActive is returned (wrapped with the VM name) when Migrate is
+// asked to start a migration for a VM whose previous migration has not
+// finished: two concurrent engines would share one page table and corrupt
+// it. Callers that want queueing implement it above this layer (ctlplane's
+// controller holds such requests Pending).
+var ErrMigrationActive = errors.New("migration already in progress")
+
+// Migrate starts a live migration of the VM from its current host to the
+// testbed's dest with the given technique and destination reservation. The
+// benchmark client (if any) retargets its flows at switchover, exactly as
+// an external load balancer would redirect traffic. It fails with
+// ErrMigrationActive while a previous migration of the VM is still live.
+func (tb *Testbed) Migrate(h *VMHandle, tech core.Technique, destReservationBytes int64) (*core.Migration, error) {
+	return tb.MigrateToTuned(h, tech, tb.Dest, destReservationBytes, core.Tuning{})
 }
 
 // MigrateTuned is Migrate with explicit engine tuning (used by the
 // ablation experiments).
-func (tb *Testbed) MigrateTuned(h *VMHandle, tech core.Technique, destReservationBytes int64, tun core.Tuning) *core.Migration {
+func (tb *Testbed) MigrateTuned(h *VMHandle, tech core.Technique, destReservationBytes int64, tun core.Tuning) (*core.Migration, error) {
+	return tb.MigrateToTuned(h, tech, tb.Dest, destReservationBytes, tun)
+}
+
+// MigrateTo is Migrate with an explicit destination host (any host in the
+// testbed other than the VM's current one).
+func (tb *Testbed) MigrateTo(h *VMHandle, tech core.Technique, dest *host.Host, destReservationBytes int64) (*core.Migration, error) {
+	return tb.MigrateToTuned(h, tech, dest, destReservationBytes, core.Tuning{})
+}
+
+// MigrateToTuned is the general form every Migrate variant delegates to:
+// explicit destination host and engine tuning.
+func (tb *Testbed) MigrateToTuned(h *VMHandle, tech core.Technique, dest *host.Host, destReservationBytes int64, tun core.Tuning) (*core.Migration, error) {
+	if h.Migration != nil && !h.Migration.Done() {
+		return nil, fmt.Errorf("cluster: VM %s: %w", h.VM.Name(), ErrMigrationActive)
+	}
+	src := h.curHost
+	if dest == nil || dest == src {
+		return nil, fmt.Errorf("cluster: VM %s: invalid destination", h.VM.Name())
+	}
 	if !tb.Cfg.Faults.Empty() && tun.DemandRetrySeconds == 0 {
 		// A faulty cluster needs the demand-paging retry path armed, or a
 		// single lost request wedges the destination forever.
@@ -384,14 +475,15 @@ func (tb *Testbed) MigrateTuned(h *VMHandle, tech core.Technique, destReservatio
 	// shared partition even when the VM swaps to the VMD at the source
 	// (the source is still live and owns the namespace's offsets — dest
 	// writes through the never-attached client used to panic the VMD).
-	var backend = tb.Dest.SharedSwapBackend()
+	var backend = dest.SharedSwapBackend()
 	if (tech == core.Agile || tech == core.ScatterGather) && !tun.NoRemoteSwap {
-		backend = host.VMDSwapBackend(h.NS, tb.Dest.VMDClient())
+		backend = host.VMDSwapBackend(h.NS, dest.VMDClient())
 	}
+	h.Result = nil
 	spec := core.Spec{
 		VM:                   h.VM,
-		Source:               tb.Source,
-		Dest:                 tb.Dest,
+		Source:               src,
+		Dest:                 dest,
 		DestReservationBytes: destReservationBytes,
 		DestBackend:          backend,
 		Namespace:            h.NS,
@@ -400,21 +492,61 @@ func (tb *Testbed) MigrateTuned(h *VMHandle, tech core.Technique, destReservatio
 		Trace:                tb.Cfg.Trace,
 		Metrics:              tb.Cfg.Metrics,
 		OnSwitchover: func() {
+			h.curHost = dest
 			if h.Client != nil {
-				h.dstFlows[0] = tb.Net.NewFlow("app:req2:"+h.VM.Name(), tb.ClientNIC, tb.Dest.NIC(), tb.Cfg.NetLatency)
-				h.dstFlows[1] = tb.Net.NewFlow("app:resp2:"+h.VM.Name(), tb.Dest.NIC(), tb.ClientNIC, tb.Cfg.NetLatency)
+				h.retargets++
+				req := fmt.Sprintf("app:req%d:%s", h.retargets+1, h.VM.Name())
+				resp := fmt.Sprintf("app:resp%d:%s", h.retargets+1, h.VM.Name())
+				h.dstFlows[0] = tb.Net.NewFlow(req, tb.ClientNIC, dest.NIC(), tb.Cfg.NetLatency)
+				h.dstFlows[1] = tb.Net.NewFlow(resp, dest.NIC(), tb.ClientNIC, tb.Cfg.NetLatency)
 				h.Client.SetFlows(h.dstFlows[0], h.dstFlows[1])
 			}
 		},
-		OnComplete: func(res *core.Result) { h.Result = res },
+		OnComplete: func(res *core.Result) {
+			h.Result = res
+			if h.onDone != nil {
+				cb := h.onDone
+				h.onDone = nil
+				cb(res)
+			}
+		},
 	}
 	h.Migration = core.Start(tb.Eng, tb.Net, tech, spec)
-	return h.Migration
+	return h.Migration, nil
+}
+
+// Outcome is the typed result of waiting for a migration: the three ways a
+// wait can end are distinct conditions — a completed hand-off, a rollback
+// to the source, and a wait that simply ran out of simulated time with the
+// migration still in flight.
+type Outcome int
+
+// The possible RunUntilMigrated outcomes.
+const (
+	OutcomeCompleted Outcome = iota // source drained; migration finished
+	OutcomeAborted                  // rolled back to the source pre-switchover
+	OutcomeTimeout                  // still in flight when the deadline hit
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeAborted:
+		return "aborted"
+	case OutcomeTimeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
 // RunUntilMigrated advances the simulation until the handle's migration
-// completes or the timeout (simulated seconds) elapses; it reports success.
-func (tb *Testbed) RunUntilMigrated(h *VMHandle, timeoutSeconds float64) bool {
+// reaches a terminal state or the timeout (simulated seconds) elapses, and
+// reports which of the three it was. An aborted migration is terminal —
+// historically it was reported as success (Done() is true for a rollback
+// too), so experiment tables counted rolled-back runs as completed.
+func (tb *Testbed) RunUntilMigrated(h *VMHandle, timeoutSeconds float64) Outcome {
 	if h.Migration == nil {
 		panic("cluster: no migration in progress for " + h.VM.Name())
 	}
@@ -424,12 +556,19 @@ func (tb *Testbed) RunUntilMigrated(h *VMHandle, timeoutSeconds float64) bool {
 		// on shard 0), so the early-exit predicate is sound and shard 0's
 		// advance loop below is replayed instruction for instruction.
 		tb.group.RunWhile(deadline, func() bool { return !h.Migration.Done() })
-		return h.Migration.Done()
+	} else {
+		for tb.Eng.Now() < deadline && !h.Migration.Done() {
+			tb.Eng.Advance(deadline)
+		}
 	}
-	for tb.Eng.Now() < deadline && !h.Migration.Done() {
-		tb.Eng.Advance(deadline)
+	switch {
+	case h.Migration.Aborted():
+		return OutcomeAborted
+	case h.Migration.Done():
+		return OutcomeCompleted
+	default:
+		return OutcomeTimeout
 	}
-	return h.Migration.Done()
 }
 
 // RebalanceSource divides the source host's VM memory budget equally among

@@ -62,8 +62,10 @@ func TestMigrateRetargetsClient(t *testing.T) {
 	cfg.MaxOpsPerSecond = 3000
 	h.AttachClient(cfg, dist.NewUniform(h.Store.Records()))
 	tb.RunSeconds(30)
-	tb.Migrate(h, core.Agile, 1*GiB)
-	if !tb.RunUntilMigrated(h, 300) {
+	if _, err := tb.Migrate(h, core.Agile, 1*GiB); err != nil {
+		t.Fatal(err)
+	}
+	if tb.RunUntilMigrated(h, 300) != OutcomeCompleted {
 		t.Fatal("migration did not complete")
 	}
 	// Client must keep making progress against the destination.
@@ -88,8 +90,10 @@ func TestAllTechniquesViaTestbed(t *testing.T) {
 		h := tb.DeployVM("vm1", 1*GiB, 512*MiB, tech == core.Agile)
 		h.LoadDataset(768 * MiB)
 		tb.RunSeconds(60)
-		tb.Migrate(h, tech, 512*MiB)
-		if !tb.RunUntilMigrated(h, 600) {
+		if _, err := tb.Migrate(h, tech, 512*MiB); err != nil {
+			t.Fatal(err)
+		}
+		if tb.RunUntilMigrated(h, 600) != OutcomeCompleted {
 			t.Fatalf("%v did not complete", tech)
 		}
 		if h.Result == nil || h.Result.Technique != tech {
@@ -186,8 +190,10 @@ func TestScatterGatherViaTestbed(t *testing.T) {
 	h := tb.DeployVM("vm1", 1*GiB, 700*MiB, true)
 	h.LoadDataset(900 * MiB)
 	tb.RunSeconds(60)
-	tb.Migrate(h, core.ScatterGather, 700*MiB)
-	if !tb.RunUntilMigrated(h, 600) {
+	if _, err := tb.Migrate(h, core.ScatterGather, 700*MiB); err != nil {
+		t.Fatal(err)
+	}
+	if tb.RunUntilMigrated(h, 600) != OutcomeCompleted {
 		t.Fatal("scatter-gather did not complete")
 	}
 	if h.Result.PagesScattered == 0 {

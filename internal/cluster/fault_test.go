@@ -21,8 +21,10 @@ func runAgileScenario(t *testing.T, cfg Config) *VMHandle {
 	wcfg.MaxOpsPerSecond = 3000
 	h.AttachClient(wcfg, dist.NewUniform(h.Store.Records()))
 	tb.RunSeconds(60)
-	tb.Migrate(h, core.Agile, 512*MiB)
-	if !tb.RunUntilMigrated(h, 600) {
+	if _, err := tb.Migrate(h, core.Agile, 512*MiB); err != nil {
+		t.Fatal(err)
+	}
+	if tb.RunUntilMigrated(h, 600) != OutcomeCompleted {
 		t.Fatal("migration did not complete")
 	}
 	tb.RunSeconds(10)
@@ -64,8 +66,10 @@ func TestAgileSurvivesVMDServerCrashWithReplicas(t *testing.T) {
 	wcfg.MaxOpsPerSecond = 3000
 	h.AttachClient(wcfg, dist.NewUniform(h.Store.Records()))
 	tb.RunSeconds(60)
-	tb.Migrate(h, core.Agile, 512*MiB)
-	if !tb.RunUntilMigrated(h, 600) {
+	if _, err := tb.Migrate(h, core.Agile, 512*MiB); err != nil {
+		t.Fatal(err)
+	}
+	if tb.RunUntilMigrated(h, 600) != OutcomeCompleted {
 		t.Fatal("migration did not survive the crash")
 	}
 	tb.RunSeconds(60)
@@ -91,7 +95,7 @@ func TestUnreplicatedCrashDegradesWithoutPanic(t *testing.T) {
 	tb.Migrate(h, core.Agile, 512*MiB)
 	// The headline guarantee: losing a VMD server without replicas
 	// degrades (zero-filled reads, spills, retries) — the run completes.
-	if !tb.RunUntilMigrated(h, 600) {
+	if tb.RunUntilMigrated(h, 600) != OutcomeCompleted {
 		t.Fatal("migration wedged after unreplicated crash")
 	}
 	tb.RunSeconds(60)
@@ -105,7 +109,10 @@ func TestAbortRollsBackToSource(t *testing.T) {
 	wcfg.MaxOpsPerSecond = 3000
 	h.AttachClient(wcfg, dist.NewUniform(h.Store.Records()))
 	tb.RunSeconds(60)
-	m := tb.Migrate(h, core.Agile, 512*MiB)
+	m, err := tb.Migrate(h, core.Agile, 512*MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tb.RunSeconds(1)
 	if m.Switched() {
 		t.Skip("migration switched over before the abort point")
@@ -138,8 +145,11 @@ func TestAbortRefusedAfterSwitchover(t *testing.T) {
 	h := tb.DeployVM("vm1", 1*GiB, 512*MiB, true)
 	h.LoadDataset(768 * MiB)
 	tb.RunSeconds(60)
-	m := tb.Migrate(h, core.Agile, 512*MiB)
-	if !tb.RunUntilMigrated(h, 600) {
+	m, err := tb.Migrate(h, core.Agile, 512*MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.RunUntilMigrated(h, 600) != OutcomeCompleted {
 		t.Fatal("migration did not complete")
 	}
 	if m.Abort() {
@@ -155,7 +165,10 @@ func TestDemandRetryRecoversFromLossWindow(t *testing.T) {
 	wcfg.MaxOpsPerSecond = 3000
 	h.AttachClient(wcfg, dist.NewUniform(h.Store.Records()))
 	tb.RunSeconds(60)
-	m := tb.MigrateTuned(h, core.Agile, 512*MiB, core.Tuning{DemandRetrySeconds: 0.2})
+	m, err := tb.MigrateTuned(h, core.Agile, 512*MiB, core.Tuning{DemandRetrySeconds: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 1000 && !m.Switched() && !m.Done(); i++ {
 		tb.RunSeconds(0.05)
 	}
@@ -165,7 +178,7 @@ func TestDemandRetryRecoversFromLossWindow(t *testing.T) {
 	nic := tb.Net.NICByName("source")
 	nic.SetLossRate(0.3, 0xfeed)
 	tb.Eng.AfterSeconds(3, func() { nic.SetLossRate(0, 0) })
-	if !tb.RunUntilMigrated(h, 600) {
+	if tb.RunUntilMigrated(h, 600) != OutcomeCompleted {
 		t.Fatal("migration wedged under message loss")
 	}
 	if nic.MessagesLost() == 0 {

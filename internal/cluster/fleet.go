@@ -65,6 +65,23 @@ type FleetConfig struct {
 	MaxOpsPerSecond float64
 	WriteFraction   float64
 
+	// MigrationTimeoutSeconds, when positive, arms a per-cell watchdog at
+	// each migration's start: a migration that has not reached switchover
+	// by the deadline is aborted and rolled back to its source, and the
+	// cell reports Outcome "aborted" instead of blocking the fleet forever.
+	// Zero disables the watchdog (the historical behaviour).
+	MigrationTimeoutSeconds float64
+	// Faults, when non-empty, is a per-cell fault schedule. Targets are
+	// resolved inside each afflicted cell with its name prefix: "src",
+	// "dst", "clients" and "inter" name the cell's NICs (for link and loss
+	// events) and "inter" its VMD server (for crash/restart). Afflicted
+	// cells arm the VMD fault-tolerance timeouts and the demand-paging
+	// retry path, exactly as Testbed does under a fault plan.
+	Faults *sim.FaultPlan
+	// FaultCells selects which cell indices receive the fault plan; nil
+	// applies it to every cell.
+	FaultCells []int
+
 	// Observe attaches one trace and one metrics registry per cell
 	// (disjoint per shard by construction, which the -race isolation test
 	// relies on). Merged views are deterministic at any shard count.
@@ -122,7 +139,21 @@ type FleetRow struct {
 	DowntimeSeconds  float64
 	BytesTransferred int64
 	OpsAtComplete    int64
+	// Outcome is "completed", "aborted" or "unfinished"; Reason carries
+	// the failure detail for the latter two. Before this field existed an
+	// aborted cell was indistinguishable from an evacuated one: the
+	// migration's OnComplete fires for rollbacks too, so the fleet counted
+	// the cell "done" and reported the evacuation a success.
+	Outcome string
+	Reason  string
 }
+
+// The FleetRow.Outcome values.
+const (
+	FleetOutcomeCompleted  = "completed"
+	FleetOutcomeAborted    = "aborted"
+	FleetOutcomeUnfinished = "unfinished"
+)
 
 // fleetCell is one migration cell: everything it owns lives on one shard.
 type fleetCell struct {
@@ -147,6 +178,11 @@ type fleetCell struct {
 
 	row  FleetRow
 	done bool
+	// faulted marks cells afflicted by the fleet's fault plan.
+	faulted bool
+	// abortReason is set (on the cell's shard) before the watchdog calls
+	// Abort, so OnComplete can attribute the rollback.
+	abortReason string
 }
 
 // Fleet is the assembled evacuation cluster: Cells independent migration
@@ -157,8 +193,10 @@ type Fleet struct {
 	Cfg   FleetConfig
 	Group *sim.ShardGroup
 
-	cells     []*fleetCell
-	completed int
+	cells []*fleetCell
+	// terminal counts cells whose migration reached a terminal state
+	// (completed or aborted) — the settle-and-stop trigger.
+	terminal int
 }
 
 // NewFleet builds the fleet. All construction happens before the first
@@ -315,7 +353,65 @@ func (f *Fleet) buildCell(i int) *fleetCell {
 		}
 		c.reg.StartSampling(c.eng, interval)
 	}
+	if !cfg.Faults.Empty() && f.cellFaulted(i) {
+		c.faulted = true
+		c.vmd.EnableFaultTolerance(0)
+		f.applyCellFaults(c, cfg.Faults)
+	}
 	return c
+}
+
+// cellFaulted reports whether cell i is afflicted by the fleet fault plan.
+func (f *Fleet) cellFaulted(i int) bool {
+	if f.Cfg.FaultCells == nil {
+		return true
+	}
+	for _, idx := range f.Cfg.FaultCells {
+		if idx == i {
+			return true
+		}
+	}
+	return false
+}
+
+// applyCellFaults arms the plan inside one cell, resolving each target with
+// the cell's name prefix (mirroring Testbed.applyFaultPlan). Everything is
+// scheduled on the cell's own engine, so fault timing is shard-invariant.
+func (f *Fleet) applyCellFaults(c *fleetCell, plan *sim.FaultPlan) {
+	lossSeed := sim.SeedForName(f.Cfg.Seed, c.name+"/loss")
+	for _, ev := range plan.Sorted() {
+		ev := ev
+		target := c.name + "-" + ev.Target
+		switch ev.Kind {
+		case sim.FaultCrash, sim.FaultRestart:
+			srv := c.vmd.ServerByName(target)
+			if srv == nil {
+				panic("cluster: fleet fault plan names unknown VMD server " + ev.Target)
+			}
+			if ev.Kind == sim.FaultCrash {
+				c.eng.AfterSeconds(ev.At, srv.Crash)
+			} else {
+				c.eng.AfterSeconds(ev.At, srv.Restart)
+			}
+		case sim.FaultLinkDown, sim.FaultLinkUp:
+			nic := c.net.NICByName(target)
+			if nic == nil {
+				panic("cluster: fleet fault plan names unknown NIC " + ev.Target)
+			}
+			down := ev.Kind == sim.FaultLinkDown
+			c.eng.AfterSeconds(ev.At, func() { nic.SetDown(down) })
+		case sim.FaultLossStart, sim.FaultLossEnd:
+			nic := c.net.NICByName(target)
+			if nic == nil {
+				panic("cluster: fleet fault plan names unknown NIC " + ev.Target)
+			}
+			rate := 0.0
+			if ev.Kind == sim.FaultLossStart {
+				rate = ev.Rate
+			}
+			c.eng.AfterSeconds(ev.At, func() { nic.SetLossRate(rate, lossSeed) })
+		}
+	}
 }
 
 // startCell runs on the cell's own shard when the controller's start
@@ -324,6 +420,12 @@ func (f *Fleet) buildCell(i int) *fleetCell {
 // migration completes.
 func (f *Fleet) startCell(c *fleetCell, onDone func()) {
 	c.row.StartedAtSeconds = c.eng.NowSeconds()
+	var tun core.Tuning
+	if c.faulted {
+		// A faulty cell needs the demand-paging retry path armed, or a
+		// single lost request wedges its destination forever.
+		tun.DemandRetrySeconds = 1.0
+	}
 	spec := core.Spec{
 		VM:                   c.vm,
 		Source:               c.src,
@@ -332,6 +434,7 @@ func (f *Fleet) startCell(c *fleetCell, onDone func()) {
 		DestBackend:          host.VMDSwapBackend(c.ns, c.dst.VMDClient()),
 		Namespace:            c.ns,
 		Latency:              f.Cfg.NetLatency,
+		Tuning:               tun,
 		Trace:                c.tr,
 		Metrics:              c.reg,
 		OnSwitchover: func() {
@@ -348,32 +451,106 @@ func (f *Fleet) startCell(c *fleetCell, onDone func()) {
 			c.row.DowntimeSeconds = res.DowntimeSeconds
 			c.row.BytesTransferred = res.BytesTransferred
 			c.row.OpsAtComplete = c.client.OpsCompleted()
+			if res.Aborted {
+				c.row.Outcome = FleetOutcomeAborted
+				c.row.Reason = c.abortReason
+				if c.row.Reason == "" {
+					c.row.Reason = "rolled back to source"
+				}
+			} else {
+				c.row.Outcome = FleetOutcomeCompleted
+			}
 			onDone()
 		},
 	}
-	core.Start(c.eng, c.net, core.Agile, spec)
+	m := core.Start(c.eng, c.net, core.Agile, spec)
+	if f.Cfg.MigrationTimeoutSeconds > 0 {
+		deadline := f.Cfg.MigrationTimeoutSeconds
+		c.eng.AfterSeconds(deadline, func() {
+			if m.Done() || m.Switched() {
+				// Finished, rolled back, or past the point of no return (a
+				// switched migration finishes at destination pace).
+				return
+			}
+			c.abortReason = fmt.Sprintf("no switchover within %.0fs; rolled back", deadline)
+			m.Abort()
+		})
+	}
 }
 
-// cellCompleted runs on shard 0 each time a cell's completion report
-// arrives over its control link; the last one arms the settle-and-stop
-// timer.
+// cellCompleted runs on shard 0 each time a cell's terminal report —
+// evacuated or rolled back — arrives over its control link; the last one
+// arms the settle-and-stop timer.
 func (f *Fleet) cellCompleted() {
-	f.completed++
-	if f.completed == len(f.cells) {
+	f.terminal++
+	if f.terminal == len(f.cells) {
 		f.Group.Engine(0).AfterSeconds(f.Cfg.SettleSeconds, f.Group.Stop)
 	}
 }
 
-// RunEvacuation drives the whole evacuation: warmup, staggered migrations,
-// settle, stop — bounded by maxSeconds of simulated time. It reports
-// whether every cell completed.
-func (f *Fleet) RunEvacuation(maxSeconds float64) bool {
-	f.Group.RunSeconds(maxSeconds)
-	return f.completed == len(f.cells)
+// EvacuationResult distinguishes a clean evacuation from a partial one:
+// how many cells evacuated, how many rolled back, and how many were still
+// in flight (or never started) when the run ended.
+type EvacuationResult struct {
+	Cells      int
+	Evacuated  int
+	Aborted    int
+	Unfinished int
 }
 
-// Completed returns how many cells have reported completion.
-func (f *Fleet) Completed() int { return f.completed }
+// Success reports a clean evacuation: every cell's VM runs at its
+// destination.
+func (r EvacuationResult) Success() bool { return r.Evacuated == r.Cells }
+
+// String summarizes the result.
+func (r EvacuationResult) String() string {
+	if r.Success() {
+		return fmt.Sprintf("evacuated %d/%d cells", r.Evacuated, r.Cells)
+	}
+	return fmt.Sprintf("evacuated %d/%d cells (%d aborted, %d unfinished)",
+		r.Evacuated, r.Cells, r.Aborted, r.Unfinished)
+}
+
+// RunEvacuation drives the whole evacuation: warmup, staggered migrations,
+// settle, stop — bounded by maxSeconds of simulated time. The result
+// distinguishes success from partial failure; rows not terminal when the
+// run ends are finalized as "unfinished" with a reason. (The historical
+// bool return said "done" as soon as every cell reported terminal — a
+// fleet full of rollbacks counted as a finished evacuation.)
+func (f *Fleet) RunEvacuation(maxSeconds float64) EvacuationResult {
+	f.Group.RunSeconds(maxSeconds)
+	res := EvacuationResult{Cells: len(f.cells)}
+	now := f.Group.Engine(0).NowSeconds()
+	for _, c := range f.cells {
+		switch c.row.Outcome {
+		case FleetOutcomeCompleted:
+			res.Evacuated++
+		case FleetOutcomeAborted:
+			res.Aborted++
+		default:
+			res.Unfinished++
+			c.row.Outcome = FleetOutcomeUnfinished
+			if c.row.StartedAtSeconds > 0 {
+				c.row.Reason = fmt.Sprintf("still in flight at %.0fs", now)
+			} else {
+				c.row.Reason = "never started"
+			}
+		}
+	}
+	return res
+}
+
+// Completed returns how many cells' migrations completed (evacuated —
+// rollbacks do not count).
+func (f *Fleet) Completed() int {
+	n := 0
+	for _, c := range f.cells {
+		if c.done && c.row.Outcome == FleetOutcomeCompleted {
+			n++
+		}
+	}
+	return n
+}
 
 // Rows returns the per-cell outcomes in cell order. Call it only between
 // runs (at a barrier), when every shard is quiescent.

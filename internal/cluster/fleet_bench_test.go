@@ -26,7 +26,7 @@ func BenchmarkShardedClusterTicksPerSecond(b *testing.B) {
 			var ticks int64
 			for i := 0; i < b.N; i++ {
 				f := NewFleet(benchFleetConfig(shards))
-				if !f.RunEvacuation(600) {
+				if res := f.RunEvacuation(600); !res.Success() {
 					b.Fatalf("evacuation incomplete: %d/%d", f.Completed(), f.Cfg.Cells)
 				}
 				ticks += int64(f.Group.Now())

@@ -29,7 +29,7 @@ func testFleetConfig(cells, shards int) FleetConfig {
 
 func TestFleetEvacuationCompletes(t *testing.T) {
 	f := NewFleet(testFleetConfig(4, 2))
-	if !f.RunEvacuation(600) {
+	if res := f.RunEvacuation(600); !res.Success() {
 		t.Fatalf("evacuation incomplete: %d/%d cells", f.Completed(), 4)
 	}
 	for _, r := range f.Rows() {
@@ -55,7 +55,7 @@ func fleetOutputs(t *testing.T, cells, shards, gomaxprocs int) ([]FleetRow, []by
 	cfg := testFleetConfig(cells, shards)
 	cfg.Observe = true
 	f := NewFleet(cfg)
-	if !f.RunEvacuation(600) {
+	if res := f.RunEvacuation(600); !res.Success() {
 		t.Fatalf("evacuation incomplete at %d shards", shards)
 	}
 	rows := f.Rows()
@@ -115,7 +115,7 @@ func TestShardedFleetIsolatedSinks(t *testing.T) {
 	cfg := testFleetConfig(cells, cells) // one cell per shard: maximal parallelism
 	cfg.Observe = true
 	f := NewFleet(cfg)
-	if !f.RunEvacuation(600) {
+	if res := f.RunEvacuation(600); !res.Success() {
 		t.Fatalf("evacuation incomplete")
 	}
 	for i := 0; i < cells; i++ {

@@ -140,6 +140,15 @@ type Tuning struct {
 	// DemandRetryMax bounds re-sends per page (default 8 when retries are
 	// armed). After the budget the page is left to the active push.
 	DemandRetryMax int
+
+	// BandwidthCapBytesPerSec, when positive, shapes the migration's data
+	// flows (the push stream and the demand-response stream, each) to at
+	// most this rate, regardless of the fair share NIC arbitration would
+	// grant — the per-migration bandwidth cap a control plane sets so one
+	// drain cannot starve application traffic. Zero leaves the flows
+	// uncapped and the simulation byte-identical to builds without the
+	// knob.
+	BandwidthCapBytesPerSec int64
 }
 
 func (t Tuning) withDefaults() Tuning {

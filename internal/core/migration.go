@@ -149,6 +149,15 @@ func Start(eng *sim.Engine, net *simnet.Network, tech Technique, spec Spec) *Mig
 		panic("core: scatter-gather migration requires the VM's namespace")
 	}
 	vm := spec.VM
+	// A VM has exactly one Migration Manager pair at a time. Starting a
+	// second migration while one is live would hand two engines the same
+	// page table and adopt a second destination cgroup over the first —
+	// silent page-state corruption. Callers that want queueing implement it
+	// above this layer (cluster.Testbed rejects, ctlplane queues).
+	if vm.Migrating() {
+		panic(fmt.Sprintf("core: VM %s is already mid-migration", vm.Name()))
+	}
+	vm.SetMigrating(true)
 	m := &Migration{
 		eng:           eng,
 		net:           net,
@@ -185,6 +194,10 @@ func Start(eng *sim.Engine, net *simnet.Network, tech Technique, spec Spec) *Mig
 	m.pushFlow = net.NewFlow("mig:push:"+vm.Name(), src, dst, spec.Latency)
 	m.demandFlow = net.NewFlow("mig:demand:"+vm.Name(), src, dst, spec.Latency)
 	m.ctrlFlow = net.NewFlow("mig:ctrl:"+vm.Name(), dst, src, spec.Latency)
+	if m.tun.BandwidthCapBytesPerSec > 0 {
+		m.pushFlow.SetRateCapBytesPerSecond(m.tun.BandwidthCapBytesPerSec)
+		m.demandFlow.SetRateCapBytesPerSecond(m.tun.BandwidthCapBytesPerSec)
+	}
 
 	// The destination KVM/QEMU process: a fresh table and cgroup. For
 	// Agile the reservation is clamped only at switchover (the per-VM swap
@@ -258,6 +271,7 @@ func (m *Migration) Abort() bool {
 	}
 	m.aborted = true
 	m.state = phaseDone
+	m.vm.SetMigrating(false)
 	m.result.Aborted = true
 	m.event(trace.MigrationAbort, "rolled back to %s after %d pages sent",
 		m.spec.Source.Name(), m.result.PagesSent)
@@ -815,6 +829,7 @@ func (m *Migration) complete() {
 		return
 	}
 	m.state = phaseDone
+	m.vm.SetMigrating(false)
 	m.event(trace.Complete, "total %.2fs, %d pages sent, %d demand-served",
 		sim.Seconds(m.eng.Now()-m.result.Start, m.eng.TickLen()), m.result.PagesSent, m.result.PagesDemandServed)
 	if m.sp.Enabled() {

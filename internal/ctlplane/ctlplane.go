@@ -1,0 +1,194 @@
+// Package ctlplane is the declarative migration control plane: instead of
+// experiment code imperatively starting one migration at a time, callers
+// submit typed Migration objects — a desired state ("this VM should run
+// somewhere other than its current host, moved with this technique, under
+// this bandwidth cap") — and a deterministic reconcile controller drives
+// the cluster toward it. The shape mirrors KubeVirt's VirtualMachine
+// InstanceMigration objects: a Spec the caller writes once and a Status the
+// controller owns, advancing through a phase machine
+//
+//	Pending -> Scheduling -> Running -> Succeeded | Failed | Aborted
+//
+// The controller runs entirely on simulated time (engine events, no wall
+// clock, no goroutines) so runs are byte-identical at any shard count and
+// GOMAXPROCS. Destination choice is delegated to a PlacementPolicy; the
+// package ships greedy free-RAM and the destination-swap strategy of Avin,
+// Dunay and Schmid ("Simple Destination-Swap Strategies for Adaptive Live
+// VM Migration").
+package ctlplane
+
+import (
+	"fmt"
+
+	"agilemig/internal/core"
+)
+
+// Phase is a control-plane Migration's lifecycle phase.
+type Phase int
+
+// The phase machine. Pending, Scheduling and Running are transient;
+// Succeeded, Failed and Aborted are terminal.
+const (
+	// PhasePending: submitted, not yet admitted (concurrency slots full or
+	// no feasible destination yet).
+	PhasePending Phase = iota
+	// PhaseScheduling: admitted this reconcile pass; a destination has
+	// been chosen and the launch is in progress.
+	PhaseScheduling
+	// PhaseRunning: the data-plane migration is live.
+	PhaseRunning
+	// PhaseSucceeded: the VM runs at the destination and the source is
+	// drained.
+	PhaseSucceeded
+	// PhaseFailed: the launch was rejected by the cluster (for example the
+	// VM was already mid-migration outside the controller's view).
+	PhaseFailed
+	// PhaseAborted: the migration was rolled back to the source (deadline
+	// exceeded before switchover, or an explicit abort).
+	PhaseAborted
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhasePending:
+		return "Pending"
+	case PhaseScheduling:
+		return "Scheduling"
+	case PhaseRunning:
+		return "Running"
+	case PhaseSucceeded:
+		return "Succeeded"
+	case PhaseFailed:
+		return "Failed"
+	case PhaseAborted:
+		return "Aborted"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Terminal reports whether the phase is final.
+func (p Phase) Terminal() bool {
+	return p == PhaseSucceeded || p == PhaseFailed || p == PhaseAborted
+}
+
+// Spec is the desired state of one migration — written by the caller,
+// never touched by the controller.
+type Spec struct {
+	// VM names the VM to move (the selector).
+	VM string
+	// Technique is the data-plane algorithm.
+	Technique core.Technique
+	// DestHost pins the destination to one host; empty lets the placement
+	// policy choose.
+	DestHost string
+	// AvoidHosts excludes candidate destinations (anti-affinity). The VM's
+	// current host is always excluded.
+	AvoidHosts []string
+	// DestReservationBytes is the VM's cgroup reservation at the
+	// destination.
+	DestReservationBytes int64
+	// BandwidthCapBytesPerSec, when positive, shapes the migration's data
+	// flows so the drain cannot starve application traffic.
+	BandwidthCapBytesPerSec int64
+	// TimeoutSeconds, when positive, bounds the Running phase: a migration
+	// that has not reached switchover by the deadline is aborted and
+	// rolled back. A migration past switchover is never aborted — there is
+	// no source copy left to roll back to.
+	TimeoutSeconds float64
+}
+
+// Status is the observed state of one migration — owned by the controller.
+type Status struct {
+	Phase Phase
+	// Dest is the chosen destination host (set at Scheduling).
+	Dest string
+	// Reason explains Pending (why not admitted), Failed and Aborted.
+	Reason string
+	// SubmittedAtSeconds / StartedAtSeconds / FinishedAtSeconds stamp the
+	// phase transitions in simulated time (-1 until reached).
+	SubmittedAtSeconds float64
+	StartedAtSeconds   float64
+	FinishedAtSeconds  float64
+	// Result is the data-plane result, available in terminal phases
+	// (except Failed, which never launched).
+	Result *core.Result
+}
+
+// Migration is one typed control-plane object.
+type Migration struct {
+	// Name identifies the object ("mig-<vm>" when auto-generated).
+	Name   string
+	Spec   Spec
+	Status Status
+
+	handle Handle
+}
+
+// HostCapacity is one candidate destination's capacity snapshot, as the
+// placement policies see it.
+type HostCapacity struct {
+	Name string
+	// RAMBytes is the host's total memory.
+	RAMBytes int64
+	// FreeReservationBytes is what remains grantable: RAM minus the OS
+	// overhead minus every hosted (and inbound mid-migration) cgroup
+	// reservation.
+	FreeReservationBytes int64
+}
+
+// Request is one migration's placement request.
+type Request struct {
+	VM string
+	// ReservationBytes is the destination reservation the VM needs.
+	ReservationBytes int64
+	// Source is the VM's current host (never a valid destination).
+	Source string
+	// Allowed, when non-nil, restricts candidates to these names (already
+	// net of Source and AvoidHosts).
+	Allowed []string
+}
+
+// allows reports whether the request admits the named host.
+func (r Request) allows(name string) bool {
+	if name == r.Source {
+		return false
+	}
+	if r.Allowed == nil {
+		return true
+	}
+	for _, a := range r.Allowed {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Handle is the controller's view of a live data-plane migration.
+type Handle interface {
+	// Abort rolls the migration back to the source; it reports false once
+	// execution has switched to the destination.
+	Abort() bool
+	// Switched reports whether execution has moved to the destination.
+	Switched() bool
+	// Done reports whether the migration reached a terminal state.
+	Done() bool
+}
+
+// Cluster is what the controller needs from the infrastructure layer.
+// *cluster.Testbed implements it; the interface keeps the dependency
+// one-way (cluster imports ctlplane for the types, ctlplane never imports
+// cluster).
+type Cluster interface {
+	// HostCapacities returns every host's capacity snapshot in a fixed,
+	// deterministic order.
+	HostCapacities() []HostCapacity
+	// VMHost returns the name of the host the VM currently executes on
+	// ("" if unknown).
+	VMHost(vm string) string
+	// Launch starts a live migration of vm to the named destination.
+	// onDone must fire exactly once when the migration completes or
+	// aborts.
+	Launch(vm, dest string, tech core.Technique, destReservationBytes, capBytesPerSec int64, onDone func(*core.Result)) (Handle, error)
+}

@@ -1,0 +1,188 @@
+package ctlplane
+
+import "sort"
+
+// PlacementPolicy chooses destinations for a batch of placement requests.
+// Place returns one host name per request ("" when no feasible host
+// exists). Implementations must be deterministic: same inputs, same
+// output, no wall clock, no unseeded randomness.
+type PlacementPolicy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Place assigns each request a destination, respecting capacity
+	// (cumulative reservations must fit each host's FreeReservationBytes)
+	// and the request's Source/Allowed constraints.
+	Place(hosts []HostCapacity, reqs []Request) []string
+}
+
+// GreedyFreeRAM places each request, in order, onto the feasible host
+// with the most free reservation capacity (ties broken by name). It is
+// the obvious baseline — and the one that piles VMs onto the single
+// biggest host, where they then share one NIC during the drain.
+type GreedyFreeRAM struct{}
+
+// Name implements PlacementPolicy.
+func (GreedyFreeRAM) Name() string { return "greedy-free-ram" }
+
+// Place implements PlacementPolicy.
+func (GreedyFreeRAM) Place(hosts []HostCapacity, reqs []Request) []string {
+	free := snapshotFree(hosts)
+	out := make([]string, len(reqs))
+	for i, r := range reqs {
+		best := -1
+		for j, h := range hosts {
+			if !r.allows(h.Name) || free[j] < r.ReservationBytes {
+				continue
+			}
+			if best < 0 || free[j] > free[best] ||
+				(free[j] == free[best] && h.Name < hosts[best].Name) {
+				best = j
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		out[i] = hosts[best].Name
+		free[best] -= r.ReservationBytes
+	}
+	return out
+}
+
+// DestinationSwap is the destination-swap strategy after Avin, Dunay and
+// Schmid: start from a feasible first-fit assignment, then run a local
+// search over single relocations and pairwise destination swaps, keeping a
+// step when it lowers the sum of squared host loads. Load is committed
+// bytes normalized by the largest host's RAM — a common denominator, so
+// the objective balances absolute bytes per host rather than fill
+// fractions. Every host contributes one NIC and one VMD client, so bytes
+// stacked on a host is exactly the drain contention the policy exists to
+// avoid; squared loads make the objective convex, so the search spreads
+// the batch instead of stacking the biggest host the way greedy does.
+// Swaps handle the capacity-constrained exchanges relocations alone
+// cannot reach.
+type DestinationSwap struct {
+	// MaxPasses bounds the swap passes; zero means len(reqs) passes.
+	MaxPasses int
+}
+
+// Name implements PlacementPolicy.
+func (DestinationSwap) Name() string { return "destination-swap" }
+
+// Place implements PlacementPolicy.
+func (p DestinationSwap) Place(hosts []HostCapacity, reqs []Request) []string {
+	var norm int64
+	for _, h := range hosts {
+		if h.RAMBytes > norm {
+			norm = h.RAMBytes
+		}
+	}
+	load := func(h HostCapacity, free int64) float64 {
+		if norm <= 0 {
+			return 0
+		}
+		return float64(h.RAMBytes-free) / float64(norm)
+	}
+
+	// First-fit seed in name order so the search starts feasible but
+	// deliberately naive.
+	free := snapshotFree(hosts)
+	assign := make([]int, len(reqs)) // host index per request, -1 = none
+	order := make([]int, len(hosts))
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return hosts[order[a]].Name < hosts[order[b]].Name })
+	for i, r := range reqs {
+		assign[i] = -1
+		for _, j := range order {
+			h := hosts[j]
+			if r.allows(h.Name) && free[j] >= r.ReservationBytes {
+				assign[i] = j
+				free[j] -= r.ReservationBytes
+				break
+			}
+		}
+	}
+
+	// Local search: swap request pairs while the squared-load objective
+	// improves.
+	passes := p.MaxPasses
+	if passes <= 0 {
+		passes = len(reqs)
+	}
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		// Relocations: move one request to any feasible host that lowers
+		// the objective.
+		for a := 0; a < len(reqs); a++ {
+			ja := assign[a]
+			if ja < 0 {
+				continue
+			}
+			da := reqs[a].ReservationBytes
+			for j := range hosts {
+				if j == ja || !reqs[a].allows(hosts[j].Name) || free[j] < da {
+					continue
+				}
+				before := sq(load(hosts[ja], free[ja])) + sq(load(hosts[j], free[j]))
+				after := sq(load(hosts[ja], free[ja]+da)) + sq(load(hosts[j], free[j]-da))
+				if after < before {
+					assign[a] = j
+					free[ja] += da
+					free[j] -= da
+					ja = j
+					improved = true
+				}
+			}
+		}
+		// Swaps: exchange two requests' destinations.
+		for a := 0; a < len(reqs); a++ {
+			for b := a + 1; b < len(reqs); b++ {
+				ja, jb := assign[a], assign[b]
+				if ja < 0 || jb < 0 || ja == jb {
+					continue
+				}
+				if !reqs[a].allows(hosts[jb].Name) || !reqs[b].allows(hosts[ja].Name) {
+					continue
+				}
+				da := reqs[a].ReservationBytes
+				db := reqs[b].ReservationBytes
+				// Capacity after the swap: host ja trades a for b.
+				if free[ja]+da-db < 0 || free[jb]+db-da < 0 {
+					continue
+				}
+				before := sq(load(hosts[ja], free[ja])) + sq(load(hosts[jb], free[jb]))
+				after := sq(load(hosts[ja], free[ja]+da-db)) + sq(load(hosts[jb], free[jb]+db-da))
+				if after < before {
+					assign[a], assign[b] = jb, ja
+					free[ja] += da - db
+					free[jb] += db - da
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	out := make([]string, len(reqs))
+	for i, j := range assign {
+		if j >= 0 {
+			out[i] = hosts[j].Name
+		}
+	}
+	return out
+}
+
+// snapshotFree copies the free-reservation column so policies can commit
+// tentative assignments without mutating the caller's snapshot.
+func snapshotFree(hosts []HostCapacity) []int64 {
+	free := make([]int64, len(hosts))
+	for j, h := range hosts {
+		free[j] = h.FreeReservationBytes
+	}
+	return free
+}
+
+func sq(x float64) float64 { return x * x }

@@ -59,13 +59,13 @@ func RunAblationActivePush(scale float64, seed uint64) *AblationPushResult {
 	res := &AblationPushResult{}
 
 	tb, h := ablationScenario(scale, seed)
-	tb.Migrate(h, core.Agile, scaleBytes(4*cluster.GiB, scale))
-	if tb.RunUntilMigrated(h, scaleSeconds(4000, scale)) {
+	mustMigrate(tb, h, core.Agile, scaleBytes(4*cluster.GiB, scale))
+	if tb.RunUntilMigrated(h, scaleSeconds(4000, scale)) == cluster.OutcomeCompleted {
 		res.WithPushSeconds = h.Result.TotalSeconds
 	}
 
 	tb2, h2 := ablationScenario(scale, seed)
-	mig := tb2.MigrateTuned(h2, core.Agile, scaleBytes(4*cluster.GiB, scale),
+	mig := mustMigrateTuned(tb2, h2, core.Agile, scaleBytes(4*cluster.GiB, scale),
 		core.Tuning{DisableActivePush: true})
 	// Observe for double the with-push window.
 	tb2.RunSeconds(res.WithPushSeconds*2 + scaleSeconds(60, scale))
@@ -107,8 +107,8 @@ func RunAblationRemoteSwap(scale float64, seed uint64, parallelism ...int) *Abla
 		half := &AblationRemoteSwapResult{}
 		if i == 0 {
 			tb, h := ablationScenario(scale, seed)
-			tb.Migrate(h, core.Agile, scaleBytes(4*cluster.GiB, scale))
-			if tb.RunUntilMigrated(h, scaleSeconds(4000, scale)) {
+			mustMigrate(tb, h, core.Agile, scaleBytes(4*cluster.GiB, scale))
+			if tb.RunUntilMigrated(h, scaleSeconds(4000, scale)) == cluster.OutcomeCompleted {
 				half.AgileSeconds = h.Result.TotalSeconds
 				half.AgileMB = float64(h.Result.BytesTransferred) / 1e6
 				half.AgileOffsetRec = h.Result.OffsetRecords
@@ -116,9 +116,9 @@ func RunAblationRemoteSwap(scale float64, seed uint64, parallelism ...int) *Abla
 			return half
 		}
 		tb2, h2 := ablationScenario(scale, seed)
-		tb2.MigrateTuned(h2, core.Agile, scaleBytes(4*cluster.GiB, scale),
+		mustMigrateTuned(tb2, h2, core.Agile, scaleBytes(4*cluster.GiB, scale),
 			core.Tuning{NoRemoteSwap: true})
-		half.NoRemoteDone = tb2.RunUntilMigrated(h2, scaleSeconds(8000, scale))
+		half.NoRemoteDone = tb2.RunUntilMigrated(h2, scaleSeconds(8000, scale)) == cluster.OutcomeCompleted
 		if h2.Result != nil {
 			half.NoRemoteSecs = h2.Result.TotalSeconds
 			half.NoRemoteMB = float64(h2.Result.BytesTransferred) / 1e6
@@ -170,11 +170,11 @@ func RunAblationAutoConverge(scale float64, seed uint64, parallelism ...int) *Ab
 		if auto {
 			tun.AutoConverge = true
 		}
-		tb.MigrateTuned(h, core.PreCopy, scaleBytes(4*cluster.GiB, scale), tun)
+		mustMigrateTuned(tb, h, core.PreCopy, scaleBytes(4*cluster.GiB, scale), tun)
 		done := tb.RunUntilMigrated(h, scaleSeconds(4000, scale))
 		elapsed := tb.Eng.NowSeconds() - t0
 		rate := float64(h.Client.OpsCompleted()-opsBefore) / elapsed
-		if !done || h.Result == nil {
+		if done != cluster.OutcomeCompleted || h.Result == nil {
 			return elapsed, -1, rate, 0
 		}
 		return h.Result.TotalSeconds, h.Result.Rounds, rate, h.Result.ThrottleEvents

@@ -51,8 +51,13 @@ type AppPerfResult struct {
 	// Migration carries Table II (TotalSeconds) and Table III
 	// (BytesTransferred).
 	Migration *core.Result
-	Completed bool
+	// Outcome distinguishes a finished migration from one that timed out
+	// or was rolled back; the tables annotate the latter two differently.
+	Outcome cluster.Outcome
 }
+
+// Completed reports whether the migration finished (source drained).
+func (r *AppPerfResult) Completed() bool { return r.Outcome == cluster.OutcomeCompleted }
 
 // RunAppPerf executes one cell.
 func RunAppPerf(cfg AppPerfConfig) *AppPerfResult {
@@ -107,7 +112,7 @@ func RunAppPerf(cfg AppPerfConfig) *AppPerfResult {
 	startOps := tb.AggregateOps()
 	startT := tb.Eng.NowSeconds()
 	destResv := scaleBytes(7*cluster.GiB, s)
-	tb.Migrate(victim, cfg.Technique, destResv)
+	mustMigrate(tb, victim, cfg.Technique, destResv)
 	done := tb.RunUntilMigrated(victim, scaleSeconds(4000, s))
 	// Rebalance as the cluster manager would, then keep measuring until
 	// the window closes.
@@ -124,7 +129,7 @@ func RunAppPerf(cfg AppPerfConfig) *AppPerfResult {
 		Workload:     cfg.Workload,
 		Technique:    cfg.Technique,
 		AvgOpsPerSec: float64(totalOps) / elapsed / PaperNumVMs,
-		Completed:    done,
+		Outcome:      done,
 	}
 	if victim.Result != nil {
 		res.Migration = victim.Result
@@ -186,7 +191,10 @@ func PrintAppPerfTables(w io.Writer, results []*AppPerfResult) {
 		if r.Migration == nil {
 			return "-"
 		}
-		if !r.Completed {
+		if r.Outcome == cluster.OutcomeAborted {
+			return "aborted"
+		}
+		if !r.Completed() {
 			return ">timeout"
 		}
 		return fmt.Sprintf("%.2f", r.Migration.TotalSeconds)

@@ -92,7 +92,7 @@ func TestSizeSweepShapes(t *testing.T) {
 	}
 	for _, tech := range cfg.Techniques {
 		for _, size := range cfg.VMSizes {
-			if !get(tech, size).Completed {
+			if !get(tech, size).Completed() {
 				t.Fatalf("%v at %dGB did not complete", tech, size/cluster.GiB)
 			}
 		}
@@ -140,7 +140,7 @@ func TestSizeSweepBusyCostsMore(t *testing.T) {
 			idle = r
 		}
 	}
-	if !idle.Completed || !busy.Completed {
+	if !idle.Completed() || !busy.Completed() {
 		t.Fatal("sweep points incomplete")
 	}
 	// §V-B: the busy VM must retransmit more dirty pages, so it transfers
@@ -168,7 +168,7 @@ func TestAppPerfSysbenchShapes(t *testing.T) {
 			res[core.PreCopy].AvgOpsPerSec, res[core.PostCopy].AvgOpsPerSec, res[core.Agile].AvgOpsPerSec)
 	}
 	// Table II ordering for the cells that completed.
-	if res[core.Agile].Completed && res[core.PostCopy].Completed {
+	if res[core.Agile].Completed() && res[core.PostCopy].Completed() {
 		if res[core.Agile].Migration.TotalSeconds >= res[core.PostCopy].Migration.TotalSeconds {
 			t.Errorf("Table II ordering: agile %.1f >= post %.1f",
 				res[core.Agile].Migration.TotalSeconds, res[core.PostCopy].Migration.TotalSeconds)

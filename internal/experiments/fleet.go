@@ -44,10 +44,14 @@ func DefaultFleetOptions() FleetOptions {
 // so callers can export the merged observability streams).
 type FleetReport struct {
 	Rows       []cluster.FleetRow
-	Completed  bool
+	Result     cluster.EvacuationResult
 	SimSeconds float64
 	Fleet      *cluster.Fleet
 }
+
+// Completed reports a clean evacuation (kept for callers of the historical
+// bool; the typed Result carries the partial-failure detail).
+func (rep FleetReport) Completed() bool { return rep.Result.Success() }
 
 // RunFleet builds and runs the evacuation. Results are byte-identical at
 // any Shards value and GOMAXPROCS (modulo the Shard placement column),
@@ -78,10 +82,10 @@ func RunFleet(opt FleetOptions) FleetReport {
 	cfg.DisableFastForward = opt.DisableFastForward
 
 	f := cluster.NewFleet(cfg)
-	done := f.RunEvacuation(opt.MaxSeconds)
+	res := f.RunEvacuation(opt.MaxSeconds)
 	return FleetReport{
 		Rows:       f.Rows(),
-		Completed:  done,
+		Result:     res,
 		SimSeconds: f.Group.Engine(0).NowSeconds(),
 		Fleet:      f,
 	}
@@ -92,16 +96,20 @@ func PrintFleet(w io.Writer, rep FleetReport) {
 	table := metrics.NewTable(
 		fmt.Sprintf("Fleet evacuation: %d cells (%d hosts), %d shard(s)",
 			len(rep.Rows), 2*len(rep.Rows), rep.Fleet.Cfg.Shards),
-		"cell", "shard", "start (s)", "total (s)", "downtime (s)", "data (MB)", "ops done")
+		"cell", "shard", "start (s)", "total (s)", "downtime (s)", "data (MB)", "ops done", "outcome")
 	var totalBytes, totalOps int64
 	var maxDone, sumTotal, sumDown float64
 	for _, r := range rep.Rows {
+		outcome := r.Outcome
+		if r.Reason != "" {
+			outcome += " (" + r.Reason + ")"
+		}
 		table.AddF(r.Cell, r.Shard,
 			fmt.Sprintf("%.2f", r.StartedAtSeconds),
 			fmt.Sprintf("%.2f", r.TotalSeconds),
 			fmt.Sprintf("%.3f", r.DowntimeSeconds),
 			fmt.Sprintf("%.0f", float64(r.BytesTransferred)/1e6),
-			r.OpsAtComplete)
+			r.OpsAtComplete, outcome)
 		totalBytes += r.BytesTransferred
 		totalOps += r.OpsAtComplete
 		sumTotal += r.TotalSeconds
@@ -116,9 +124,8 @@ func PrintFleet(w io.Writer, rep FleetReport) {
 		fmt.Fprintf(w, "evacuated %d VMs in %.1fs of simulated time: mean total %.2fs, mean downtime %.3fs, %.0f MB moved, %d client ops served\n",
 			len(rep.Rows), maxDone, sumTotal/n, sumDown/n, float64(totalBytes)/1e6, totalOps)
 	}
-	if !rep.Completed {
-		fmt.Fprintf(w, "WARNING: evacuation incomplete after %.1fs simulated (%d cells done)\n",
-			rep.SimSeconds, rep.Fleet.Completed())
+	if !rep.Completed() {
+		fmt.Fprintf(w, "WARNING: %s after %.1fs simulated\n", rep.Result, rep.SimSeconds)
 	}
 }
 
@@ -126,7 +133,7 @@ func PrintFleet(w io.Writer, rep FleetReport) {
 // in cell order, used by the CI shard-equivalence diff.
 func WriteFleetCSV(w io.Writer, rows []cluster.FleetRow) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"cell", "started_s", "done_s", "total_s", "downtime_s", "bytes", "ops"}); err != nil {
+	if err := cw.Write([]string{"cell", "started_s", "done_s", "total_s", "downtime_s", "bytes", "ops", "outcome", "reason"}); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -140,6 +147,8 @@ func WriteFleetCSV(w io.Writer, rows []cluster.FleetRow) error {
 			fmt.Sprintf("%.3f", r.DowntimeSeconds),
 			strconv.FormatInt(r.BytesTransferred, 10),
 			strconv.FormatInt(r.OpsAtComplete, 10),
+			r.Outcome,
+			r.Reason,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"agilemig/internal/cluster"
+	"agilemig/internal/core"
 	"agilemig/internal/workload"
 )
 
@@ -36,6 +37,26 @@ const (
 	// PaperNumVMs is the number of VMs on the source host.
 	PaperNumVMs = 4
 )
+
+// mustMigrate starts a migration whose preconditions the experiment has
+// already ensured (fresh testbed, no prior migration); a rejection here is
+// a scenario bug, not a runtime condition.
+func mustMigrate(tb *cluster.Testbed, h *cluster.VMHandle, tech core.Technique, destResv int64) *core.Migration {
+	m, err := tb.Migrate(h, tech, destResv)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// mustMigrateTuned is mustMigrate with explicit engine tuning.
+func mustMigrateTuned(tb *cluster.Testbed, h *cluster.VMHandle, tech core.Technique, destResv int64, tun core.Tuning) *core.Migration {
+	m, err := tb.MigrateTuned(h, tech, destResv, tun)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
 
 // scaleBytes scales a byte quantity, keeping page alignment.
 func scaleBytes(b int64, scale float64) int64 {

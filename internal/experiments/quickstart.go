@@ -105,8 +105,8 @@ func RunQuickstart(cfg QuickstartConfig) []QuickstartResult {
 		vm.AttachClient(wcfg, dist.NewUniform(vm.Store.Records()))
 
 		tb.RunSeconds(scaleSeconds(120, cfg.Scale))
-		tb.Migrate(vm, tech, scaleBytes(768*cluster.MiB, cfg.Scale))
-		if !tb.RunUntilMigrated(vm, 4000) {
+		mustMigrate(tb, vm, tech, scaleBytes(768*cluster.MiB, cfg.Scale))
+		if tb.RunUntilMigrated(vm, 4000) != cluster.OutcomeCompleted {
 			panic("experiments: quickstart migration did not finish: " + tech.String())
 		}
 		// Let demand-paging tails and sampled series settle briefly.

@@ -144,7 +144,7 @@ func RunRecovery(cfg RecoveryConfig) []RecoveryResult {
 		h.AttachClient(wcfg, dist.NewUniform(h.Store.Records()))
 
 		tb.RunSeconds(warmup)
-		tb.Migrate(h, core.Agile, scaleBytes(768*cluster.MiB, cfg.Scale))
+		mustMigrate(tb, h, core.Agile, scaleBytes(768*cluster.MiB, cfg.Scale))
 		// Once execution moves to the destination, degrade the source's
 		// link for a while: demand requests and responses start getting
 		// dropped, so the destination's timeout/retry path has to carry
@@ -163,7 +163,7 @@ func RunRecovery(cfg RecoveryConfig) []RecoveryResult {
 				})
 			}
 		}
-		if !tb.RunUntilMigrated(h, 4000) {
+		if tb.RunUntilMigrated(h, 4000) != cluster.OutcomeCompleted {
 			panic(fmt.Sprintf("experiments: recovery migration wedged at K=%d", k))
 		}
 		// Ride past the restart so background re-replication can run.

@@ -14,8 +14,11 @@ import (
 type ScatterEvictionRow struct {
 	Technique    core.Technique
 	EvictSeconds float64
-	Completed    bool
+	Outcome      cluster.Outcome
 }
+
+// Completed reports whether the migration finished (source drained).
+func (r ScatterEvictionRow) Completed() bool { return r.Outcome == cluster.OutcomeCompleted }
 
 // RunScatterEviction compares how fast each technique frees the source
 // when the destination's NIC runs at a quarter of line rate — the fast
@@ -37,9 +40,9 @@ func RunScatterEviction(scale float64, seed uint64) []ScatterEvictionRow {
 		ccfg.MaxOpsPerSecond = 8000
 		h.AttachClient(ccfg, dist.NewUniform(h.Store.Records()))
 		tb.RunSeconds(scaleSeconds(120, scale))
-		tb.Migrate(h, tech, scaleBytes(3*cluster.GiB, scale))
+		mustMigrate(tb, h, tech, scaleBytes(3*cluster.GiB, scale))
 		done := tb.RunUntilMigrated(h, scaleSeconds(8000, scale))
-		row := ScatterEvictionRow{Technique: tech, Completed: done}
+		row := ScatterEvictionRow{Technique: tech, Outcome: done}
 		if h.Result != nil {
 			row.EvictSeconds = h.Result.TotalSeconds
 		}
@@ -60,7 +63,9 @@ func PrintScatterEviction(w io.Writer, rows []ScatterEvictionRow) {
 	fmt.Fprintln(w, "Source-eviction time with a quarter-speed destination NIC")
 	for _, r := range rows {
 		state := ""
-		if !r.Completed {
+		if r.Outcome == cluster.OutcomeAborted {
+			state = "  (aborted)"
+		} else if !r.Completed() {
 			state = "  (did not complete)"
 		}
 		fmt.Fprintf(w, "  %-15s %8.1fs%s\n", r.Technique, r.EvictSeconds, state)

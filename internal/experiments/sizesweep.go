@@ -62,8 +62,11 @@ type SizeSweepRow struct {
 	TotalSeconds    float64
 	DataMB          float64
 	DowntimeSeconds float64
-	Completed       bool
+	Outcome         cluster.Outcome
 }
+
+// Completed reports whether the migration finished (source drained).
+func (r SizeSweepRow) Completed() bool { return r.Outcome == cluster.OutcomeCompleted }
 
 // SizeSweepHostRAM is the host memory for the sweep (§V-B keeps it at 6 GB
 // while the VM grows past it).
@@ -136,13 +139,13 @@ func runSweepPoint(cfg SizeSweepConfig, tech core.Technique, vmBytes int64, busy
 	// Settle reclaim (time scales with the amount to evict).
 	tb.RunSeconds(scaleSeconds(200, s))
 
-	tb.Migrate(h, tech, resv)
+	mustMigrate(tb, h, tech, resv)
 	done := tb.RunUntilMigrated(h, scaleSeconds(cfg.TimeoutSeconds, s))
 	row := SizeSweepRow{
 		Technique: tech,
 		VMBytes:   vmBytes,
 		Busy:      busy,
-		Completed: done,
+		Outcome:   done,
 	}
 	if h.Result != nil {
 		row.TotalSeconds = h.Result.TotalSeconds
@@ -165,7 +168,10 @@ func PrintSizeSweep(w io.Writer, rows []SizeSweepRow) {
 		cell  func(SizeSweepRow) string
 	}{
 		{"Figure 7: total migration time (s) vs VM size", func(r SizeSweepRow) string {
-			if !r.Completed {
+			if r.Outcome == cluster.OutcomeAborted {
+				return "aborted"
+			}
+			if !r.Completed() {
 				return ">timeout"
 			}
 			return fmt.Sprintf("%.1f", r.TotalSeconds)

@@ -136,8 +136,8 @@ func runVMDSweepVariant(cfg VMDSweepConfig, v vmdSweepVariant) VMDSweepRow {
 
 	// A tight destination reservation forces the scan to demand-read from
 	// the store after switchover.
-	tb.MigrateTuned(h, core.Agile, scaleBytes(512*cluster.MiB, cfg.Scale), v.tun)
-	if !tb.RunUntilMigrated(h, 4000) {
+	mustMigrateTuned(tb, h, core.Agile, scaleBytes(512*cluster.MiB, cfg.Scale), v.tun)
+	if tb.RunUntilMigrated(h, 4000) != cluster.OutcomeCompleted {
 		panic("experiments: vmdsweep migration did not finish: " + v.name)
 	}
 	tb.RunSeconds(scaleSeconds(60, cfg.Scale))

@@ -51,6 +51,11 @@ type VM struct {
 	zeroReads   int64
 	suspendedAt sim.Time
 	downtime    sim.Duration
+
+	// migrating is set while a live migration owns the VM; a second
+	// concurrent migration of the same VM would corrupt its page state, so
+	// core.Start refuses while the flag is up.
+	migrating bool
 }
 
 type pendedAccess struct {
@@ -70,6 +75,14 @@ func New(eng *sim.Engine, name string, memBytes int64) *VM {
 	vm.handler = defaultHandler{}
 	return vm
 }
+
+// Migrating reports whether a live migration currently owns the VM.
+func (vm *VM) Migrating() bool { return vm.migrating }
+
+// SetMigrating marks (or clears) migration ownership. Only the migration
+// engine should call this: it sets the flag in core.Start and clears it at
+// completion or abort.
+func (vm *VM) SetMigrating(on bool) { vm.migrating = on }
 
 // CPUQuota returns the current vCPU speed factor in (0, 1].
 func (vm *VM) CPUQuota() float64 { return vm.cpuQuota }

@@ -156,8 +156,14 @@ func (h *Host) AddVM(vm *guest.VM, reservationBytes int64, backend cgroup.SwapBa
 }
 
 // AdoptGroup registers an externally constructed group (migration builds
-// the destination group before the VM arrives).
+// the destination group before the VM arrives). Adopting over a live group
+// for the same VM would silently orphan that group's reservation and page
+// accounting — it means two migrations are racing for one VM — so it
+// panics instead.
 func (h *Host) AdoptGroup(vm *guest.VM, g *cgroup.Group) {
+	if _, ok := h.groups[vm.Name()]; ok {
+		panic(fmt.Sprintf("host %s: AdoptGroup over live group for VM %s", h.name, vm.Name()))
+	}
 	h.groups[vm.Name()] = g
 	h.vms[vm.Name()] = vm
 }

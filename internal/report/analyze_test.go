@@ -148,8 +148,10 @@ func TestAnalyzeDowntimeMatchesResult(t *testing.T) {
 		wcfg.MaxOpsPerSecond = 5000
 		h.AttachClient(wcfg, dist.NewUniform(h.Store.Records()))
 		tb.RunSeconds(6)
-		tb.Migrate(h, tech, 26*1<<20)
-		if !tb.RunUntilMigrated(h, 4000) {
+		if _, err := tb.Migrate(h, tech, 26*1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if tb.RunUntilMigrated(h, 4000) != cluster.OutcomeCompleted {
 			t.Fatalf("%v: migration did not finish", tech)
 		}
 		tb.RunSeconds(3)

@@ -205,6 +205,12 @@ type Flow struct {
 	msgs    []pendingMessage
 	msgHead int
 
+	// capBpt, when positive, limits the flow's transmission rate to that
+	// many bytes per tick regardless of the fair share the arbiter would
+	// grant (a token-bucket shaped stream, e.g. a per-migration bandwidth
+	// cap from the control plane). Zero means uncapped.
+	capBpt int64
+
 	// arbitration scratch
 	rate    int64
 	settled bool
@@ -227,6 +233,33 @@ func (n *Network) NewFlow(name string, src, dst *NIC, latency sim.Duration) *Flo
 
 // Name returns the flow's name.
 func (f *Flow) Name() string { return f.name }
+
+// SetRateCapBytesPerSecond shapes the flow to at most bytesPerSecond,
+// regardless of the fair share arbitration would grant. The cap acts as a
+// demand ceiling in max-min arbitration, so capacity a capped flow leaves
+// unused is redistributed to competing flows on the same ports. Zero (or
+// negative) removes the cap; a positive cap is clamped to at least one
+// byte per tick, mirroring NIC bandwidth quantisation.
+func (f *Flow) SetRateCapBytesPerSecond(bytesPerSecond int64) {
+	if bytesPerSecond <= 0 {
+		f.capBpt = 0
+		return
+	}
+	bpt := int64(float64(bytesPerSecond) / f.net.eng.TicksPerSecond())
+	if bpt < 1 {
+		bpt = 1
+	}
+	f.capBpt = bpt
+}
+
+// demand returns the bytes the flow wants to transmit this tick: its
+// backlog, ceilinged by the rate cap when one is set.
+func (f *Flow) demand() int64 {
+	if f.capBpt > 0 && f.backlog > f.capBpt {
+		return f.capBpt
+	}
+	return f.backlog
+}
 
 // Send offers raw stream bytes with no completion notification.
 func (f *Flow) Send(bytes int64) {
@@ -450,7 +483,7 @@ func (n *Network) arbitrate() {
 			if f.settled {
 				continue
 			}
-			demand := f.backlog
+			demand := f.demand()
 			if demand <= share {
 				f.rate = demand
 				f.settled = true

@@ -117,6 +117,9 @@ const (
 	// VMDTierMove marks a page moving between a server's memory and disk
 	// tiers (demotion by the cold scan, or promotion on access).
 	VMDTierMove
+	// CtlPhase marks a control-plane Migration object changing phase
+	// (Pending -> Scheduling -> Running -> a terminal phase).
+	CtlPhase
 )
 
 // String names the kind.
@@ -196,6 +199,8 @@ func (k Kind) String() string {
 		return "vmd-rebalance"
 	case VMDTierMove:
 		return "vmd-tier-move"
+	case CtlPhase:
+		return "ctl-phase"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

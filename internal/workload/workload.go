@@ -12,6 +12,7 @@ import (
 	"agilemig/internal/dist"
 	"agilemig/internal/guest"
 	"agilemig/internal/mem"
+	"agilemig/internal/metrics"
 	"agilemig/internal/sim"
 	"agilemig/internal/simnet"
 )
@@ -157,6 +158,11 @@ type Client struct {
 	writesDone   int64
 	stalledOps   int64
 
+	// lat, when set, observes each operation's client-visible latency in
+	// seconds (issue to response arrival). Nil keeps the fast path
+	// observation-free.
+	lat *metrics.Histogram
+
 	// free is a freelist of op records. Each op's lifecycle spans several
 	// network and fault callbacks; pooling the record and its three
 	// callbacks keeps the per-operation path allocation-free.
@@ -173,6 +179,7 @@ type op struct {
 	respFlow *simnet.Flow
 	pending  int
 	stalled  bool
+	issuedAt float64 // seconds, for the latency histogram
 
 	executeF func() // request delivered at the VM host
 	finishF  func() // one touched page became usable
@@ -234,6 +241,12 @@ func (c *Client) Stats() (reads, writes, stalled int64) {
 // InFlight returns the number of outstanding operations.
 func (c *Client) InFlight() int { return c.inflight }
 
+// SetLatencyHistogram starts recording each operation's client-visible
+// latency (seconds from issue to response arrival) into h; nil turns
+// recording back off. Experiments with latency SLOs (the drain scenario's
+// p99 bound) use this to judge application impact during migrations.
+func (c *Client) SetLatencyHistogram(h *metrics.Histogram) { c.lat = h }
+
 // Tick paces new operations under the token bucket and concurrency cap.
 // The server VM's CPU quota scales the effective service rate (vCPU
 // throttling slows the server, not the client).
@@ -293,6 +306,7 @@ func (c *Client) startOp() {
 	o.respFlow = c.respFlow
 	o.pending = 0
 	o.stalled = false
+	o.issuedAt = c.eng.NowSeconds()
 	c.reqFlow.SendMessage(c.cfg.RequestBytes, o.executeF)
 }
 
@@ -348,6 +362,7 @@ func (o *op) finish() {
 // simply never recycled.
 func (o *op) done() {
 	c := o.c
+	c.lat.Observe(c.eng.NowSeconds() - o.issuedAt)
 	c.opsCompleted++
 	if o.write {
 		c.writesDone++
