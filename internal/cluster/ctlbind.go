@@ -50,12 +50,15 @@ func (tb *Testbed) Launch(vm, dest string, tech core.Technique, destReservationB
 	if d == nil {
 		return nil, fmt.Errorf("cluster: unknown host %q", dest)
 	}
-	h.onDone = onDone
 	m, err := tb.MigrateToTuned(h, tech, d, destReservationBytes,
 		core.Tuning{BandwidthCapBytesPerSec: capBytesPerSec})
 	if err != nil {
-		h.onDone = nil
 		return nil, err
 	}
+	// Install the callback only after the start is accepted: a rejected
+	// Launch (e.g. ErrMigrationActive) must not disturb the callback of a
+	// migration already in flight for this VM. core.Start is purely
+	// event-driven, so the new migration cannot complete before this line.
+	h.onDone = onDone
 	return m, nil
 }

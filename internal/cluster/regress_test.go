@@ -58,6 +58,36 @@ func TestDoubleMigrateRejected(t *testing.T) {
 	}
 }
 
+// TestLaunchRejectionPreservesCallback: a second ctlplane Launch for a VM
+// whose migration is still live must fail without touching the live
+// migration's completion callback. On main, Launch installed the new
+// callback before MigrateToTuned's ErrMigrationActive check and nil-ed it
+// on the error path, so the live migration completed with no callback —
+// its controller object stayed Running forever and leaked its slot.
+func TestLaunchRejectionPreservesCallback(t *testing.T) {
+	tb := New(smallConfig())
+	h := tb.DeployVM("vm1", 1*GiB, 512*MiB, true)
+	h.LoadDataset(768 * MiB)
+	tb.RunSeconds(60)
+	fired := 0
+	if _, err := tb.Launch("vm1", tb.Dest.Name(), core.Agile, 512*MiB, 0,
+		func(*core.Result) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunSeconds(1) // migration live, not yet switched
+	_, err := tb.Launch("vm1", tb.Dest.Name(), core.Agile, 512*MiB, 0,
+		func(*core.Result) { t.Error("rejected launch's callback fired") })
+	if !errors.Is(err, ErrMigrationActive) {
+		t.Fatalf("second Launch: got %v, want ErrMigrationActive", err)
+	}
+	if got := tb.RunUntilMigrated(h, 600); got != OutcomeCompleted {
+		t.Fatalf("first migration: %v", got)
+	}
+	if fired != 1 {
+		t.Fatalf("live migration's callback fired %d times, want 1", fired)
+	}
+}
+
 // TestMigrateRejectsBadDestination: nil and same-host destinations are
 // configuration errors, reported as such.
 func TestMigrateRejectsBadDestination(t *testing.T) {

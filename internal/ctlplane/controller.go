@@ -53,12 +53,15 @@ func (c *Controller) Submit(spec Spec) *Migration {
 	return c.SubmitNamed("mig-"+spec.VM, spec)
 }
 
-// SubmitNamed is Submit with an explicit object name. Names must be
-// unique; resubmitting a live name panics (a spec is desired state, not a
-// command stream).
+// SubmitNamed is Submit with an explicit object name. Resubmitting a name
+// whose object is still live panics (a spec is desired state, not a
+// command stream); a name whose object reached a terminal phase may be
+// reused — the new object replaces it in the index, and the old one stays
+// in Migrations() history. This is what lets Submit's auto-generated
+// "mig-<vm>" name move a VM again after an earlier migration finished.
 func (c *Controller) SubmitNamed(name string, spec Spec) *Migration {
-	if _, ok := c.byName[name]; ok {
-		panic(fmt.Sprintf("ctlplane: migration %q already exists", name))
+	if prev, ok := c.byName[name]; ok && !prev.Status.Phase.Terminal() {
+		panic(fmt.Sprintf("ctlplane: migration %q is still live", name))
 	}
 	m := &Migration{
 		Name: name,
@@ -167,15 +170,34 @@ func (c *Controller) reconcile() {
 		return
 	}
 
+	// A VM has exactly one live data-plane migration at a time (core.Start
+	// panics on a second); a later spec for a VM that is already Scheduling
+	// or Running waits Pending until the earlier one reaches a terminal
+	// phase, rather than being launched into a rejection.
+	active := make(map[string]bool)
+	for _, m := range c.migs {
+		if m.Status.Phase == PhaseScheduling || m.Status.Phase == PhaseRunning {
+			active[m.Spec.VM] = true
+		}
+	}
+
 	// Gather the admission batch in submission order.
 	var batch []*Migration
 	for _, m := range c.migs {
 		if len(batch) >= slots {
 			break
 		}
-		if m.Status.Phase == PhasePending {
-			batch = append(batch, m)
+		if m.Status.Phase != PhasePending {
+			continue
 		}
+		if active[m.Spec.VM] {
+			if m.Status.Reason == "" {
+				m.Status.Reason = "waiting: VM already migrating"
+			}
+			continue // retried after the live migration completes
+		}
+		active[m.Spec.VM] = true
+		batch = append(batch, m)
 	}
 	if len(batch) == 0 {
 		return
@@ -283,6 +305,11 @@ func (c *Controller) launch(m *Migration, dest string) {
 		m.Status.Reason = err.Error()
 		c.transition(m, PhaseFailed)
 		m.Status.FinishedAtSeconds = c.eng.NowSeconds()
+		// The slot this launch consumed is free again; without a re-kick a
+		// synchronous failure with nothing Running would strand the
+		// remaining Pending objects (reconciles otherwise only follow
+		// submissions and completions).
+		c.kick()
 		return
 	}
 	m.handle = handle

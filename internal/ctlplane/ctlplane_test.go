@@ -272,6 +272,94 @@ func TestDuplicateSubmitPanics(t *testing.T) {
 	ctl.Submit(spec("vma"))
 }
 
+// TestSameVMSpecsQueue: two specs for one VM must serialize — the second
+// waits Pending while the first is live, then launches after it completes.
+// On main both launched into the data plane at once; against the real
+// cluster the second wiped the first's completion callback on rejection,
+// leaving the first stuck Running forever.
+func TestSameVMSpecsQueue(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fc := newFake(1)
+	ctl := NewController(eng, fc, Config{Policy: GreedyFreeRAM{}})
+	first := ctl.SubmitNamed("first", spec("vma"))
+	second := ctl.SubmitNamed("second", spec("vma"))
+	eng.RunSeconds(1)
+	if first.Status.Phase != PhaseRunning {
+		t.Fatalf("first: %s, want Running", first.Status.Phase)
+	}
+	if second.Status.Phase != PhasePending {
+		t.Fatalf("second: %s, want Pending while the VM is mid-migration", second.Status.Phase)
+	}
+	if len(fc.launched) != 1 {
+		t.Fatalf("%d data-plane launches for one VM", len(fc.launched))
+	}
+	fc.launched[0].complete()
+	eng.RunSeconds(1)
+	if first.Status.Phase != PhaseSucceeded {
+		t.Fatalf("first after completion: %s", first.Status.Phase)
+	}
+	if second.Status.Phase != PhaseRunning {
+		t.Fatalf("second after first completed: %s", second.Status.Phase)
+	}
+	fc.launched[1].complete()
+	if second.Status.Phase != PhaseSucceeded || !ctl.Done() {
+		t.Fatalf("second: %s, done=%v", second.Status.Phase, ctl.Done())
+	}
+}
+
+// TestFailedLaunchFreesSlot: a synchronously rejected launch must hand its
+// concurrency slot back and re-kick the reconcile loop. On main, with
+// MaxConcurrent=1 and nothing Running, the remaining Pending objects were
+// never reconciled again.
+func TestFailedLaunchFreesSlot(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fc := newFake(2)
+	fc.failNext = errors.New("unknown VM")
+	ctl := NewController(eng, fc, Config{MaxConcurrent: 1, Policy: GreedyFreeRAM{}})
+	bad := ctl.Submit(spec("vma"))
+	good := ctl.Submit(spec("vmb"))
+	eng.RunSeconds(2)
+	if bad.Status.Phase != PhaseFailed {
+		t.Fatalf("bad: %s, want Failed", bad.Status.Phase)
+	}
+	if good.Status.Phase != PhaseRunning {
+		t.Fatalf("good: %s, want Running (stranded by the failed launch?)", good.Status.Phase)
+	}
+	fc.launched[0].complete()
+	if !ctl.Done() {
+		t.Fatal("controller not done")
+	}
+}
+
+// TestResubmitAfterTerminal: a terminal object's name is reusable, so
+// Submit's auto-generated "mig-<vm>" name can move the same VM again.
+func TestResubmitAfterTerminal(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fc := newFake(1)
+	ctl := NewController(eng, fc, Config{Policy: GreedyFreeRAM{}})
+	first := ctl.Submit(spec("vma"))
+	eng.RunSeconds(1)
+	fc.launched[0].complete()
+	if first.Status.Phase != PhaseSucceeded {
+		t.Fatalf("first: %s", first.Status.Phase)
+	}
+	second := ctl.Submit(spec("vma")) // same "mig-vma" name, must not panic
+	eng.RunSeconds(1)
+	if second.Status.Phase != PhaseRunning {
+		t.Fatalf("second: %s, want Running", second.Status.Phase)
+	}
+	fc.launched[1].complete()
+	if second.Status.Phase != PhaseSucceeded {
+		t.Fatalf("second after completion: %s", second.Status.Phase)
+	}
+	if got := ctl.Get("mig-vma"); got != second {
+		t.Fatal("Get returns the stale terminal object")
+	}
+	if len(ctl.Migrations()) != 2 {
+		t.Fatalf("%d objects in history, want 2", len(ctl.Migrations()))
+	}
+}
+
 func TestGreedyPlacement(t *testing.T) {
 	hosts := []HostCapacity{
 		{Name: "a", RAMBytes: 100, FreeReservationBytes: 50},
