@@ -18,10 +18,10 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkVMDDemandRead -count 3 ./internal/vmd/
 
 # Run the agilelint suite (detrand, maporder, emitnil, unitcheck,
-# tickdrift, shardsafe) over the whole repository through the vet
-# driver — the same
-# invocation CI's lint job uses. See DESIGN.md §"Statically enforced
-# invariants" for what each analyzer proves.
+# tickdrift, shardsafe, plus the flow-sensitive dettaint, phasecheck and
+# outcomecheck) over the whole repository through the vet driver — the
+# same invocation CI's lint job uses. See DESIGN.md §"Statically
+# enforced invariants" for what each analyzer proves.
 lint:
 	$(GO) build -o agilelint ./cmd/agilelint && $(GO) vet -vettool=./agilelint ./...
 

@@ -1,6 +1,8 @@
-// Agilelint is the repository's static-analysis suite: five analyzers
-// that prove determinism and simulation hygiene at compile time
-// (DESIGN.md §"Statically enforced invariants").
+// Agilelint is the repository's static-analysis suite: nine analyzers
+// that prove determinism and simulation hygiene at compile time — six
+// syntax-level checks plus the flow-sensitive v2 passes (dettaint,
+// phasecheck, outcomecheck) over the ctrlflow CFG (DESIGN.md
+// §"Statically enforced invariants").
 //
 // Standalone:
 //

@@ -26,7 +26,7 @@ import (
 
 // All returns the agilelint suite in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Detrand, Maporder, Emitnil, Unitcheck, Tickdrift, Shardsafe}
+	return []*analysis.Analyzer{Detrand, Maporder, Emitnil, Unitcheck, Tickdrift, Shardsafe, Dettaint, Phasecheck, Outcomecheck}
 }
 
 // pathHasSegment reports whether an import path contains seg as a whole

@@ -44,3 +44,104 @@ func TestShardsafe(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analyzers.Shardsafe,
 		"agilemig/internal/cluster", "agilemig/internal/simnet", "agilemig/internal/sim")
 }
+
+// --- v2 flow-sensitive analyzers -------------------------------------
+
+func TestDettaint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Dettaint, "dettaint")
+}
+
+func TestPhasecheck(t *testing.T) {
+	// agilemig/internal/ctlplane holds the in-package transition fixtures
+	// (guard-derived legality only applies inside the controller package).
+	analysistest.Run(t, analysistest.TestData(), analyzers.Phasecheck,
+		"phasecheck", "agilemig/internal/ctlplane")
+}
+
+func TestOutcomecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Outcomecheck, "outcomecheck")
+}
+
+// recorder implements analysistest's Testing interface, swallowing the
+// "no diagnostic matching" noise that the want-comment checker produces
+// when an analyzer is (correctly) blind to a fixture. The caller inspects
+// Result.Diagnostics directly instead.
+type recorder struct{ msgs []string }
+
+func (r *recorder) Errorf(format string, args ...interface{}) {
+	r.msgs = append(r.msgs, format)
+}
+
+// TestLaunderingBeatsV1 is the plant-and-detect proof the issue demands:
+// every shape in testdata/src/laundering launders nondeterminism past the
+// v1 syntax analyzers (detrand sees no banned selector, maporder sees no
+// illegal range body), yet dettaint's flow analysis still rejects it.
+func TestLaunderingBeatsV1(t *testing.T) {
+	for _, tc := range []struct {
+		label string
+		run   func(rt *recorder) int
+	}{
+		{"detrand", func(rt *recorder) int {
+			rs := analysistest.Run(rt, analysistest.TestData(), analyzers.Detrand, "laundering")
+			return countDiags(rs)
+		}},
+		{"maporder", func(rt *recorder) int {
+			rs := analysistest.Run(rt, analysistest.TestData(), analyzers.Maporder, "laundering")
+			return countDiags(rs)
+		}},
+	} {
+		rt := &recorder{}
+		if n := tc.run(rt); n != 0 {
+			t.Errorf("v1 analyzer %s reported %d diagnostics on the laundering fixtures; "+
+				"they must be invisible to syntax-level checks", tc.label, n)
+		}
+	}
+
+	// dettaint sees through all five shapes: the want comments in
+	// laundering.go are enforced with the real *testing.T.
+	analysistest.Run(t, analysistest.TestData(), analyzers.Dettaint, "laundering")
+}
+
+// TestMultiAnalyzerSuppression pins the escape-hatch scoping rule: a
+// //lint:<analyzer> line waives exactly that analyzer. Both functions in
+// testdata/src/multisuppress trip detrand AND dettaint on the same line;
+// each annotation must leave the other analyzer's diagnostic standing.
+func TestMultiAnalyzerSuppression(t *testing.T) {
+	for _, tc := range []struct {
+		label    string
+		run      func(rt *recorder) []string
+		wantHits int
+	}{
+		{"detrand", func(rt *recorder) []string {
+			return diagLines(analysistest.Run(rt, analysistest.TestData(), analyzers.Detrand, "multisuppress"))
+		}, 1},
+		{"dettaint", func(rt *recorder) []string {
+			return diagLines(analysistest.Run(rt, analysistest.TestData(), analyzers.Dettaint, "multisuppress"))
+		}, 1},
+	} {
+		rt := &recorder{}
+		lines := tc.run(rt)
+		if len(lines) != tc.wantHits {
+			t.Errorf("%s on multisuppress: got %d diagnostics (%v), want exactly %d — "+
+				"one function waives it, the other must still fire", tc.label, len(lines), lines, tc.wantHits)
+		}
+	}
+}
+
+func countDiags(rs []*analysistest.Result) int {
+	n := 0
+	for _, r := range rs {
+		n += len(r.Diagnostics)
+	}
+	return n
+}
+
+func diagLines(rs []*analysistest.Result) []string {
+	var out []string
+	for _, r := range rs {
+		for _, d := range r.Diagnostics {
+			out = append(out, d.Message)
+		}
+	}
+	return out
+}

@@ -1,0 +1,838 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+)
+
+// Dettaint is the flow-sensitive companion to Detrand and Maporder: where
+// those ban nondeterminism at the call site, Dettaint tracks the VALUES
+// such calls produce — through assignments, arithmetic, struct fields,
+// slices, closures, and package-local helper returns — and reports only
+// when one reaches a place where nondeterminism becomes a reproducibility
+// bug: trace/metrics emission, package-level (simulation) state, an
+// exported function's return value, or a channel send. That catches the
+// laundering the syntax-level passes miss by construction: a dot-imported
+// rand.Intn, a wall-clock read smuggled through a helper or closure, a
+// map-iteration-coupled counter paired with its key, reflect-based map
+// key extraction, or a %p-formatted pointer identity.
+//
+// The analysis is a forward may-taint dataflow over the ctrlflow CFG of
+// each function: per-variable taint with strong updates on plain
+// reassignment (overwriting a tainted variable with a clean value kills
+// the taint — flow sensitivity), union joins at merge points, and
+// whole-object granularity for structs and containers. sort/slices calls
+// kill order-kind taint (sorted keys are deterministic again).
+// Package-local helpers get a returns-taint summary (fixpoint, so chains
+// of helpers launder nothing); closures are analyzed at their occurrence
+// with the captured state, and a closure whose body touches a source is
+// itself a tainted value, so storing it in package state is a leak.
+//
+// cmd/ and examples/ packages and _test.go files are exempt, matching
+// Detrand. Escape hatch: //lint:dettaint <justification> at the sink.
+var Dettaint = &analysis.Analyzer{
+	Name:     "dettaint",
+	Doc:      "flow-sensitive taint: values from nondeterministic sources must not reach state, traces, metrics, or results",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      runDettaint,
+}
+
+// dtTaint describes why a value is nondeterministic: kind is the class
+// ("entropy", "order", "identity"), label the originating source, e.g.
+// "time.Now". Joins keep the lexicographically smaller label so merged
+// states — and therefore diagnostics — are deterministic.
+type dtTaint struct {
+	kind  string
+	label string
+}
+
+// dtSource classifies an object as a nondeterminism source. Matching is
+// by resolved object, not syntax, so dot-imported and value-captured
+// source functions are caught too.
+func dtSource(obj types.Object) (dtTaint, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return dtTaint{}, false
+	}
+	name := fn.Name()
+	recv := fn.Type().(*types.Signature).Recv()
+	switch fn.Pkg().Path() {
+	case "time":
+		if recv == nil && forbiddenTimeFuncs[name] {
+			return dtTaint{"entropy", "time." + name}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if recv == nil && !allowedRandFuncs[name] {
+			return dtTaint{"entropy", "math/rand." + name}, true
+		}
+	case "os":
+		if recv == nil && forbiddenOSFuncs[name] {
+			return dtTaint{"identity", "os." + name}, true
+		}
+	case "crypto/rand":
+		return dtTaint{"entropy", "crypto/rand." + name}, true
+	case "runtime":
+		if recv == nil && (name == "NumGoroutine" || name == "NumCPU" || name == "GOMAXPROCS") {
+			return dtTaint{"identity", "runtime." + name}, true
+		}
+	case "reflect":
+		if recv != nil && (name == "MapKeys" || name == "MapRange") {
+			return dtTaint{"order", "reflect.Value." + name}, true
+		}
+	case "maps", "golang.org/x/exp/maps":
+		if recv == nil && (name == "Keys" || name == "Values") {
+			return dtTaint{"order", "maps." + name}, true
+		}
+	}
+	return dtTaint{}, false
+}
+
+// dtSinkHandle reports whether t is (a pointer to) an observability
+// handle whose emissions land in traces or metrics output.
+func dtSinkHandle(t types.Type) bool {
+	return namedTypeIn(t, "internal/trace", "Trace", "Emitter", "Span", "SpanEmitter") ||
+		namedTypeIn(t, "internal/metrics", "Registry", "Counter", "Gauge", "Histogram", "Series")
+}
+
+func runDettaint(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if pathHasSegment(path, "cmd") || pathHasSegment(path, "examples") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	a := &dtAnalysis{
+		pass:       pass,
+		cfgs:       cfgs,
+		summaries:  make(map[*types.Func]dtTaint),
+		reported:   make(map[token.Pos]bool),
+		orderReads: make(map[*ast.Ident]dtTaint),
+	}
+	a.collectOrderReads(ins)
+
+	var decls []*ast.FuncDecl
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		d := n.(*ast.FuncDecl)
+		if d.Body != nil && !inTestFile(pass, d.Pos()) {
+			decls = append(decls, d)
+		}
+	})
+
+	// Summary fixpoint: a helper that returns a value tainted inside
+	// another helper converges within the chain depth; 10 rounds bounds
+	// pathological cycles.
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, d := range decls {
+			f := a.newFunc(d, false)
+			if f == nil {
+				continue
+			}
+			f.run(nil)
+			fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
+			if fn != nil && f.retTaint != nil {
+				if _, have := a.summaries[fn]; !have {
+					a.summaries[fn] = *f.retTaint
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Report pass, with stable summaries.
+	for _, d := range decls {
+		if f := a.newFunc(d, true); f != nil {
+			f.run(nil)
+		}
+	}
+	return nil, nil
+}
+
+// dtAnalysis is the per-package analysis state shared by every function.
+type dtAnalysis struct {
+	pass       *analysis.Pass
+	cfgs       *ctrlflow.CFGs
+	summaries  map[*types.Func]dtTaint
+	reported   map[token.Pos]bool
+	orderReads map[*ast.Ident]dtTaint
+}
+
+// collectOrderReads finds the map-iteration-coupled-counter shape:
+//
+//	i := 0
+//	for k := range m { order[k] = i; i++ }
+//
+// Maporder deliberately allows both statements (keyed writes hit distinct
+// slots; integer accumulation commutes) — but READING the counter inside
+// the body pairs its per-iteration value with the current key, which is
+// exactly iteration order. Such reads (any use other than the counter's
+// own commutative update) are order-taint sources.
+func (a *dtAnalysis) collectOrderReads(ins *inspector.Inspector) {
+	info := a.pass.TypesInfo
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		counters := make(map[types.Object]bool)
+		updates := make(map[*ast.Ident]bool)
+		outer := func(id *ast.Ident) types.Object {
+			obj := info.Uses[id]
+			if obj == nil || (rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End()) {
+				return nil
+			}
+			if !isIntegerish(obj.Type()) {
+				return nil
+			}
+			return obj
+		}
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			switch u := n.(type) {
+			case *ast.IncDecStmt:
+				if id, ok := unparen(u.X).(*ast.Ident); ok {
+					if obj := outer(id); obj != nil {
+						counters[obj] = true
+						updates[id] = true
+					}
+				}
+			case *ast.AssignStmt:
+				if commutativeAssign(u.Tok) && len(u.Lhs) == 1 {
+					if id, ok := unparen(u.Lhs[0]).(*ast.Ident); ok {
+						if obj := outer(id); obj != nil {
+							counters[obj] = true
+							updates[id] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if len(counters) == 0 {
+			return
+		}
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || updates[id] {
+				return true
+			}
+			if obj := info.Uses[id]; obj != nil && counters[obj] {
+				a.orderReads[id] = dtTaint{"order", "map-iteration-coupled counter " + id.Name}
+			}
+			return true
+		})
+	})
+}
+
+// litTaint reports whether the closure's body mentions a nondeterminism
+// source at all — if so, the closure VALUE is tainted: wherever it is
+// stored, a later call yields nondeterminism.
+func (a *dtAnalysis) litTaint(lit *ast.FuncLit) (dtTaint, bool) {
+	var t dtTaint
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := a.pass.TypesInfo.Uses[id]; obj != nil {
+				if st, ok2 := dtSource(obj); ok2 {
+					t, found = st, true
+				}
+			}
+		}
+		return true
+	})
+	return t, found
+}
+
+// isNonLocalVar reports whether obj is storage outside the current
+// function: a package-level variable (here or in an imported package).
+func isNonLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	// The parent of a package scope is the universe scope; every
+	// function-local scope nests below a file scope instead.
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// dtFunc runs the dataflow for one function declaration or literal.
+type dtFunc struct {
+	a         *dtAnalysis
+	g         *cfg.CFG
+	body      *ast.BlockStmt
+	funcName  string // "" for literals
+	exported  bool
+	results   []types.Object // named result vars, for bare returns
+	report    bool           // final pass for this decl: diagnostics on
+	reporting bool           // inside the report sweep right now
+
+	in       []map[types.Object]dtTaint
+	state    map[types.Object]dtTaint
+	retTaint *dtTaint
+}
+
+func (a *dtAnalysis) newFunc(d *ast.FuncDecl, report bool) *dtFunc {
+	g := a.cfgs.FuncDecl(d)
+	if g == nil {
+		return nil
+	}
+	f := &dtFunc{
+		a:        a,
+		g:        g,
+		body:     d.Body,
+		funcName: d.Name.Name,
+		exported: ast.IsExported(d.Name.Name),
+		report:   report,
+	}
+	if d.Type.Results != nil {
+		for _, field := range d.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := a.pass.TypesInfo.Defs[name]; obj != nil {
+					f.results = append(f.results, obj)
+				}
+			}
+		}
+	}
+	return f
+}
+
+func copyState(m map[types.Object]dtTaint) map[types.Object]dtTaint {
+	out := make(map[types.Object]dtTaint, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto unions src into *dst (may-taint), keeping the smaller label
+// on conflict, and reports whether *dst changed (including becoming
+// reachable for the first time).
+func joinInto(dst *map[types.Object]dtTaint, src map[types.Object]dtTaint) bool {
+	if *dst == nil {
+		*dst = copyState(src)
+		return true
+	}
+	changed := false
+	for obj, t := range src {
+		cur, ok := (*dst)[obj]
+		if !ok || t.label < cur.label {
+			(*dst)[obj] = t
+			changed = true
+		}
+	}
+	return changed
+}
+
+// run executes the fixpoint followed (when report is set) by one
+// reporting sweep over the stabilized block in-states. seed taints the
+// entry state — the captured environment for closures.
+func (f *dtFunc) run(seed map[types.Object]dtTaint) {
+	if f.g == nil || len(f.g.Blocks) == 0 {
+		return
+	}
+	f.in = make([]map[types.Object]dtTaint, len(f.g.Blocks))
+	if seed != nil {
+		f.in[0] = copyState(seed)
+	} else {
+		f.in[0] = make(map[types.Object]dtTaint)
+	}
+	// The in-states only grow (union joins over a finite object set with
+	// a finite label order), so the sweep count is bounded; the explicit
+	// cap is a safety net.
+	for iter := 0; iter < 4*len(f.g.Blocks)+4; iter++ {
+		changed := false
+		for _, b := range f.g.Blocks {
+			if f.in[b.Index] == nil {
+				continue
+			}
+			f.state = copyState(f.in[b.Index])
+			for _, n := range b.Nodes {
+				f.node(n)
+			}
+			for _, s := range b.Succs {
+				if joinInto(&f.in[s.Index], f.state) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if f.report {
+		f.reporting = true
+		for _, b := range f.g.Blocks {
+			if f.in[b.Index] == nil {
+				continue
+			}
+			f.state = copyState(f.in[b.Index])
+			for _, n := range b.Nodes {
+				f.node(n)
+			}
+		}
+		f.reporting = false
+	}
+}
+
+// node is the transfer function for one CFG node.
+func (f *dtFunc) node(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		f.assign(n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					f.valueSpec(vs)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		f.expr(n.X)
+	case *ast.SendStmt:
+		f.expr(n.Chan)
+		if t, ok := f.expr(n.Value); ok {
+			f.sinkAt(n.Arrow, t, "is sent on a channel")
+		}
+	case *ast.IncDecStmt:
+		f.expr(n.X)
+	case *ast.GoStmt:
+		f.expr(n.Call)
+	case *ast.DeferStmt:
+		f.expr(n.Call)
+	case *ast.ReturnStmt:
+		f.ret(n)
+	case *ast.RangeStmt:
+		f.rangeHead(n)
+	case ast.Expr:
+		f.expr(n)
+	}
+}
+
+func (f *dtFunc) valueSpec(vs *ast.ValueSpec) {
+	var ts []dtTaint
+	var oks []bool
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		t, ok := f.expr(vs.Values[0])
+		for range vs.Names {
+			ts, oks = append(ts, t), append(oks, ok)
+		}
+	} else {
+		for _, v := range vs.Values {
+			t, ok := f.expr(v)
+			ts, oks = append(ts, t), append(oks, ok)
+		}
+	}
+	for i, name := range vs.Names {
+		if i >= len(ts) {
+			break
+		}
+		if obj := f.a.pass.TypesInfo.Defs[name]; obj != nil && oks[i] {
+			f.state[obj] = ts[i]
+		}
+	}
+}
+
+func (f *dtFunc) assign(as *ast.AssignStmt) {
+	var ts []dtTaint
+	var oks []bool
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		t, ok := f.expr(as.Rhs[0])
+		for range as.Lhs {
+			ts, oks = append(ts, t), append(oks, ok)
+		}
+	} else {
+		for _, r := range as.Rhs {
+			t, ok := f.expr(r)
+			ts, oks = append(ts, t), append(oks, ok)
+		}
+	}
+	augmented := as.Tok != token.ASSIGN && as.Tok != token.DEFINE
+	for i, lhs := range as.Lhs {
+		if i >= len(ts) {
+			break
+		}
+		t, ok := ts[i], oks[i]
+		if augmented {
+			// x op= y keeps x's own taint and unions in y's.
+			if old, oldOK := f.expr(lhs); oldOK {
+				t, ok = dtUnion(old, true, t, ok)
+			}
+		}
+		f.store(lhs, t, ok, !augmented)
+	}
+}
+
+// store writes taint through an lvalue. Plain local identifiers get a
+// strong update (assignment of a clean value kills old taint — this is
+// the flow-sensitive part); partial writes (x.f, x[i]) taint the whole
+// root object but never clean it; writes whose root is package-level
+// storage or behind a pointer dereference are sinks when tainted.
+func (f *dtFunc) store(lhs ast.Expr, t dtTaint, tainted, strong bool) {
+	info := f.a.pass.TypesInfo
+	lhs = unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if isNonLocalVar(obj) {
+			if tainted {
+				f.sinkAt(id.Pos(), t, "is stored in package-level var "+id.Name)
+			}
+			return
+		}
+		if tainted {
+			f.state[obj] = t
+		} else if strong {
+			delete(f.state, obj)
+		}
+		return
+	}
+	root, deref := f.lvalueRoot(lhs)
+	if !tainted {
+		return // weak update: a clean partial write cleans nothing
+	}
+	if root == nil || deref || isNonLocalVar(root) {
+		f.sinkAt(lhs.Pos(), t, "escapes into shared state via "+types.ExprString(lhs))
+		return
+	}
+	if cur, ok := f.state[root]; !ok || t.label < cur.label {
+		f.state[root] = t
+	}
+}
+
+// lvalueRoot walks x.f[i].g down to its base identifier, noting whether
+// the path crosses a pointer dereference (in which case the write lands
+// in storage the local variable does not own).
+func (f *dtFunc) lvalueRoot(e ast.Expr) (types.Object, bool) {
+	info := f.a.pass.TypesInfo
+	deref := false
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[v]
+			if obj == nil {
+				obj = info.Defs[v]
+			}
+			return obj, deref
+		case *ast.SelectorExpr:
+			if t := info.TypeOf(v.X); t != nil {
+				if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+					deref = true
+				}
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			deref = true
+			e = v.X
+		default:
+			return nil, deref
+		}
+	}
+}
+
+func (f *dtFunc) rangeHead(rs *ast.RangeStmt) {
+	info := f.a.pass.TypesInfo
+	t, ok := f.expr(rs.X)
+	if !ok {
+		return
+	}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		if id, isID := unparen(e).(*ast.Ident); isID && id.Name != "_" {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil && !isNonLocalVar(obj) {
+				f.state[obj] = t
+			}
+		}
+	}
+}
+
+func (f *dtFunc) ret(n *ast.ReturnStmt) {
+	var t dtTaint
+	found := false
+	if len(n.Results) == 0 {
+		for _, ro := range f.results {
+			if rt, ok := f.state[ro]; ok {
+				t, found = dtUnion(t, found, rt, true)
+			}
+		}
+	} else {
+		for _, r := range n.Results {
+			if rt, ok := f.expr(r); ok {
+				t, found = dtUnion(t, found, rt, true)
+			}
+		}
+	}
+	if !found {
+		return
+	}
+	if f.retTaint == nil || t.label < f.retTaint.label {
+		cp := t
+		f.retTaint = &cp
+	}
+	if f.exported {
+		f.sinkAt(n.Pos(), t, "is returned from exported "+f.funcName)
+	}
+}
+
+// expr computes the taint of an expression, applying side effects on the
+// way: source calls introduce taint, sort calls kill order taint, and
+// trace/metrics emissions with tainted arguments are reported.
+func (f *dtFunc) expr(e ast.Expr) (dtTaint, bool) {
+	info := f.a.pass.TypesInfo
+	switch e := e.(type) {
+	case nil:
+		return dtTaint{}, false
+	case *ast.Ident:
+		if t, ok := f.a.orderReads[e]; ok {
+			return t, true
+		}
+		obj := info.Uses[e]
+		if obj == nil {
+			return dtTaint{}, false
+		}
+		if t, ok := f.state[obj]; ok {
+			return t, true
+		}
+		// A source function used as a value (f := Now, dot-imported or
+		// not) makes the value tainted: any later call yields entropy.
+		return dtSource(obj)
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil {
+			if t, ok := dtSource(obj); ok {
+				return t, true
+			}
+		}
+		return f.expr(e.X) // field/method read on a tainted object
+	case *ast.CallExpr:
+		return f.call(e)
+	case *ast.ParenExpr:
+		return f.expr(e.X)
+	case *ast.UnaryExpr:
+		return f.expr(e.X)
+	case *ast.StarExpr:
+		return f.expr(e.X)
+	case *ast.BinaryExpr:
+		tx, okx := f.expr(e.X)
+		ty, oky := f.expr(e.Y)
+		return dtUnion(tx, okx, ty, oky)
+	case *ast.IndexExpr:
+		tx, okx := f.expr(e.X)
+		ti, oki := f.expr(e.Index)
+		return dtUnion(tx, okx, ti, oki)
+	case *ast.IndexListExpr:
+		return f.expr(e.X)
+	case *ast.SliceExpr:
+		t, ok := f.expr(e.X)
+		for _, ix := range []ast.Expr{e.Low, e.High, e.Max} {
+			ti, oki := f.expr(ix)
+			t, ok = dtUnion(t, ok, ti, oki)
+		}
+		return t, ok
+	case *ast.TypeAssertExpr:
+		return f.expr(e.X)
+	case *ast.KeyValueExpr:
+		tk, okk := f.expr(e.Key)
+		tv, okv := f.expr(e.Value)
+		return dtUnion(tk, okk, tv, okv)
+	case *ast.CompositeLit:
+		var t dtTaint
+		ok := false
+		for _, el := range e.Elts {
+			te, oke := f.expr(el)
+			t, ok = dtUnion(t, ok, te, oke)
+		}
+		return t, ok
+	case *ast.FuncLit:
+		return f.funcLit(e)
+	}
+	return dtTaint{}, false
+}
+
+func (f *dtFunc) call(c *ast.CallExpr) (dtTaint, bool) {
+	pass := f.a.pass
+	info := pass.TypesInfo
+
+	var argT dtTaint
+	argOK := false
+	argTaints := make([]bool, len(c.Args))
+	argVals := make([]dtTaint, len(c.Args))
+	for i, arg := range c.Args {
+		t, ok := f.expr(arg)
+		argVals[i], argTaints[i] = t, ok
+		argT, argOK = dtUnion(argT, argOK, t, ok)
+	}
+
+	// Conversions propagate (float64(rand.Int63()) stays tainted).
+	if tv, ok := info.Types[c.Fun]; ok && tv.IsType() {
+		return argT, argOK
+	}
+
+	callee := useObj(pass, c.Fun)
+
+	if b, ok := callee.(*types.Builtin); ok {
+		switch b.Name() {
+		case "append", "min", "max":
+			return argT, argOK
+		default: // len, cap, make, new, delete, clear, copy, panic, ...
+			return dtTaint{}, false
+		}
+	}
+
+	if t, ok := dtSource(callee); ok {
+		return t, true
+	}
+
+	if fn, ok := callee.(*types.Func); ok && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			// Pointer identity laundered through formatting: %p renders an
+			// allocation address, different every process.
+			if n := fn.Name(); n == "Sprintf" || n == "Appendf" || n == "Errorf" {
+				if len(c.Args) > 0 {
+					if ftv, ok2 := info.Types[c.Args[0]]; ok2 && ftv.Value != nil &&
+						ftv.Value.Kind() == constant.String &&
+						strings.Contains(constant.StringVal(ftv.Value), "%p") {
+						return dtTaint{"identity", "fmt." + n + "(%p)"}, true
+					}
+				}
+			}
+		case "sort", "slices":
+			// Sorting re-establishes a deterministic order: kill order
+			// taint on the sorted operand and on the result.
+			for _, arg := range c.Args {
+				if id, ok2 := unparen(arg).(*ast.Ident); ok2 {
+					if obj := info.Uses[id]; obj != nil {
+						if t, ok3 := f.state[obj]; ok3 && t.kind == "order" {
+							delete(f.state, obj)
+						}
+					}
+				}
+			}
+			if argOK && argT.kind == "order" {
+				return dtTaint{}, false
+			}
+			return argT, argOK
+		}
+	}
+
+	// Sink: a tainted argument reaching trace/metrics emission.
+	if sel, ok := unparen(c.Fun).(*ast.SelectorExpr); ok {
+		if rt := info.TypeOf(sel.X); rt != nil && dtSinkHandle(rt) {
+			for i, arg := range c.Args {
+				if argTaints[i] {
+					f.sinkAt(arg.Pos(), argVals[i], "reaches "+types.ExprString(sel)+" (trace/metrics emission)")
+					break
+				}
+			}
+		}
+	}
+
+	// Package-local helper with a returns-taint summary.
+	if fn, ok := callee.(*types.Func); ok && fn.Pkg() == pass.Pkg {
+		if t, have := f.a.summaries[fn]; have {
+			return t, true
+		}
+	}
+
+	// Calling a tainted function value (laundered closure or source
+	// function stored in a variable).
+	if t, ok := f.expr(c.Fun); ok {
+		return dtUnion(t, true, argT, argOK)
+	}
+	return argT, argOK
+}
+
+// funcLit analyzes a closure at its occurrence, seeding it with the
+// current state so captured tainted variables stay tainted inside, and
+// returns the taint of the closure VALUE itself.
+func (f *dtFunc) funcLit(lit *ast.FuncLit) (dtTaint, bool) {
+	child := &dtFunc{
+		a:      f.a,
+		g:      f.a.cfgs.FuncLit(lit),
+		body:   lit.Body,
+		report: f.reporting,
+	}
+	if lit.Type.Results != nil {
+		for _, field := range lit.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := f.a.pass.TypesInfo.Defs[name]; obj != nil {
+					child.results = append(child.results, obj)
+				}
+			}
+		}
+	}
+	child.run(f.state)
+	if t, ok := f.a.litTaint(lit); ok {
+		return t, true
+	}
+	if child.retTaint != nil {
+		return *child.retTaint, true
+	}
+	return dtTaint{}, false
+}
+
+func dtUnion(a dtTaint, aok bool, b dtTaint, bok bool) (dtTaint, bool) {
+	switch {
+	case aok && bok:
+		if b.label < a.label {
+			return b, true
+		}
+		return a, true
+	case aok:
+		return a, true
+	case bok:
+		return b, true
+	}
+	return dtTaint{}, false
+}
+
+func (f *dtFunc) sinkAt(pos token.Pos, t dtTaint, what string) {
+	if !f.reporting || f.a.reported[pos] {
+		return
+	}
+	pass := f.a.pass
+	if inTestFile(pass, pos) || allowed(pass, pos, "dettaint") {
+		return
+	}
+	f.a.reported[pos] = true
+	pass.Report(analysis.Diagnostic{
+		Pos: pos,
+		Message: "nondeterministic value from " + t.label + " (" + t.kind + ") " + what +
+			"; derive it from seeded sim streams / the engine clock, or annotate //lint:dettaint <why>",
+	})
+}

@@ -1,0 +1,384 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Phasecheck knows the ctlplane phase machine — Pending → Scheduling →
+// Running → {Succeeded, Failed, Aborted}, plus Pending → Aborted and
+// Scheduling → Failed — and enforces it statically:
+//
+//   - a switch over a Phase-typed value with no default must cover all
+//     six phases; silently ignoring one is how "drain waits forever on
+//     an Aborted object" bugs are born;
+//   - a constant phase assignment inside ctlplane whose from-phase is
+//     derivable from the guarding comparison must be a legal edge
+//     (Pending never jumps straight to Running);
+//   - phase STATUS writes (m.Status.Phase = ..., any selector/index
+//     lvalue) outside ctlplane are flagged: phases are controller-owned,
+//     and a consumer forcing one bypasses tracing, slot accounting, and
+//     the reconcile loop. Local scratch Phase variables remain free;
+//   - a boolean chain testing exactly two of the three terminal phases
+//     (p == Succeeded || p == Failed) forgot Aborted — the exact bug
+//     class Phase.Terminal() exists to prevent.
+//
+// Test files are exempt (they construct arbitrary states on purpose).
+// Escape hatch: //lint:phasecheck <justification>.
+var Phasecheck = &analysis.Analyzer{
+	Name:     "phasecheck",
+	Doc:      "enforce the ctlplane phase machine: exhaustive switches, legal transitions, controller-owned writes, Terminal() completeness",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runPhasecheck,
+}
+
+// The six phases, by declared constant value. Hardcoding the names keeps
+// the analyzer honest: if the enum grows, the analyzer (and every
+// exhaustive switch it vets) must be revisited together.
+var phaseNames = [...]string{
+	0: "PhasePending",
+	1: "PhaseScheduling",
+	2: "PhaseRunning",
+	3: "PhaseSucceeded",
+	4: "PhaseFailed",
+	5: "PhaseAborted",
+}
+
+const (
+	phPending = iota
+	phScheduling
+	phRunning
+	phSucceeded
+	phFailed
+	phAborted
+)
+
+// phaseLegal records the legal edges; self-transitions are always
+// permitted (the controller's transition() tolerates them).
+var phaseLegal = map[[2]int]bool{
+	{phPending, phScheduling}: true,
+	{phPending, phAborted}:    true,
+	{phScheduling, phRunning}: true,
+	{phScheduling, phFailed}:  true,
+	{phRunning, phSucceeded}:  true,
+	{phRunning, phFailed}:     true,
+	{phRunning, phAborted}:    true,
+}
+
+// isPhaseType reports whether t is the ctlplane Phase type.
+func isPhaseType(t types.Type) bool {
+	return t != nil && namedTypeIn(t, "ctlplane", "Phase")
+}
+
+// phaseConst resolves an expression to a phase constant value, by
+// constant folding (covers the named constants, arithmetic on them, and
+// conversions).
+func phaseConst(pass *analysis.Pass, e ast.Expr) (int, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || !isPhaseType(tv.Type) {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	if !exact || v < 0 || int(v) >= len(phaseNames) {
+		return 0, false
+	}
+	return int(v), true
+}
+
+func runPhasecheck(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	inCtlplane := hasSuffixSegment(pass.Pkg.Path(), "ctlplane")
+
+	nodeTypes := []ast.Node{
+		(*ast.SwitchStmt)(nil),
+		(*ast.AssignStmt)(nil),
+		(*ast.BinaryExpr)(nil),
+		(*ast.CompositeLit)(nil),
+	}
+	ins.WithStack(nodeTypes, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || inTestFile(pass, n.Pos()) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.SwitchStmt:
+			checkPhaseSwitch(pass, n)
+		case *ast.AssignStmt:
+			checkPhaseWrite(pass, n, stack, inCtlplane)
+		case *ast.BinaryExpr:
+			checkTerminalChain(pass, n, stack)
+		case *ast.CompositeLit:
+			checkPhaseLiteral(pass, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkPhaseSwitch flags a switch over a Phase-typed tag, without a
+// default clause, that does not name all six phases.
+func checkPhaseSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isPhaseType(pass.TypesInfo.TypeOf(sw.Tag)) {
+		return
+	}
+	covered := make(map[int]bool)
+	for _, cc := range sw.Body.List {
+		clause := cc.(*ast.CaseClause)
+		if clause.List == nil {
+			return // has default: explicitly handles the rest
+		}
+		for _, e := range clause.List {
+			v, ok := phaseConst(pass, e)
+			if !ok {
+				return // non-constant case: can't prove anything
+			}
+			covered[v] = true
+		}
+	}
+	var missing []string
+	for v, name := range phaseNames {
+		if !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 || allowed(pass, sw.Switch, "phasecheck") {
+		return
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos: sw.Switch, End: sw.Tag.End(),
+		Message: "switch over ctlplane.Phase silently ignores " + strings.Join(missing, ", ") +
+			"; cover every phase or add an explicit default (//lint:phasecheck <why> to waive)",
+	})
+}
+
+// isPhaseStatusLvalue reports whether the assignment target is a Phase
+// field of some larger object (m.Status.Phase, migs[i].Phase) rather
+// than a plain local Phase variable.
+func isPhaseStatusLvalue(pass *analysis.Pass, lhs ast.Expr) bool {
+	switch unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return isPhaseType(pass.TypesInfo.TypeOf(lhs))
+	}
+	return false
+}
+
+// checkPhaseWrite handles both write rules: ownership (no status writes
+// outside ctlplane) and, inside ctlplane, transition legality when the
+// guarding context pins down the from-phase.
+func checkPhaseWrite(pass *analysis.Pass, as *ast.AssignStmt, stack []ast.Node, inCtlplane bool) {
+	if as.Tok != token.ASSIGN {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if !isPhaseStatusLvalue(pass, lhs) {
+			continue
+		}
+		if !inCtlplane {
+			if allowed(pass, lhs.Pos(), "phasecheck") {
+				continue
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: lhs.Pos(), End: as.End(),
+				Message: "ctlplane phases are controller-owned: writing " + types.ExprString(lhs) +
+					" outside internal/ctlplane bypasses tracing and slot accounting; use Submit/Abort " +
+					"(//lint:phasecheck <why> to waive)",
+			})
+			continue
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else {
+			rhs = as.Rhs[0]
+		}
+		to, ok := phaseConst(pass, rhs)
+		if !ok {
+			continue // dynamic target phase: transition() owns legality
+		}
+		from, ok := guardedFromPhase(pass, lhs, stack)
+		if !ok || from == to || phaseLegal[[2]int{from, to}] {
+			continue
+		}
+		if allowed(pass, lhs.Pos(), "phasecheck") {
+			continue
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: lhs.Pos(), End: as.End(),
+			Message: "illegal phase transition " + phaseNames[from] + " -> " + phaseNames[to] +
+				"; legal edges are Pending->Scheduling|Aborted, Scheduling->Running|Failed, " +
+				"Running->Succeeded|Failed|Aborted (//lint:phasecheck <why> to waive)",
+		})
+	}
+}
+
+// guardedFromPhase derives the phase the lvalue must hold before the
+// write, from the nearest enclosing if-condition or case clause that
+// compares the same expression (textually) against a phase constant.
+func guardedFromPhase(pass *analysis.Pass, lhs ast.Expr, stack []ast.Node) (int, bool) {
+	want := types.ExprString(unparen(lhs))
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			if v, ok := phaseEqCompare(pass, n.Cond, want); ok {
+				return v, true
+			}
+		case *ast.CaseClause:
+			// Find the switch tag two levels up (BlockStmt-less layout:
+			// CaseClause sits directly in SwitchStmt.Body.List).
+			if i >= 2 {
+				if sw, ok := stack[i-2].(*ast.SwitchStmt); ok && sw.Tag != nil &&
+					types.ExprString(unparen(sw.Tag)) == want && len(n.List) == 1 {
+					if v, ok2 := phaseConst(pass, n.List[0]); ok2 {
+						return v, true
+					}
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// phaseEqCompare matches `<want> == <phase constant>` (either operand
+// order) at the top level of a condition or under &&.
+func phaseEqCompare(pass *analysis.Pass, cond ast.Expr, want string) (int, bool) {
+	be, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return 0, false
+	}
+	switch be.Op {
+	case token.LAND:
+		if v, ok := phaseEqCompare(pass, be.X, want); ok {
+			return v, true
+		}
+		return phaseEqCompare(pass, be.Y, want)
+	case token.EQL:
+		if types.ExprString(unparen(be.X)) == want {
+			return phaseConst(pass, be.Y)
+		}
+		if types.ExprString(unparen(be.Y)) == want {
+			return phaseConst(pass, be.X)
+		}
+	}
+	return 0, false
+}
+
+// checkTerminalChain flags `p == Succeeded || p == Failed` (and the
+// negated &&-of-!= De Morgan twin) that covers exactly two of the three
+// terminal phases: the author meant "is it over?" and forgot Aborted.
+func checkTerminalChain(pass *analysis.Pass, be *ast.BinaryExpr, stack []ast.Node) {
+	if be.Op != token.LOR && be.Op != token.LAND {
+		return
+	}
+	// Only handle the outermost chain node: a parent with the same
+	// operator already covers this one.
+	for i := len(stack) - 2; i >= 0; i-- {
+		p, ok := stack[i].(*ast.BinaryExpr)
+		if !ok {
+			break
+		}
+		if p.Op == be.Op {
+			return
+		}
+	}
+	cmpOp := token.EQL
+	if be.Op == token.LAND {
+		cmpOp = token.NEQ // !a && !b form: p != Succeeded && p != Failed
+	}
+	var operand string
+	terminals := make(map[int]bool)
+	ok := collectPhaseCompares(pass, be, cmpOp, &operand, terminals)
+	if !ok || len(terminals) != 2 {
+		return
+	}
+	for v := range terminals {
+		if v != phSucceeded && v != phFailed && v != phAborted {
+			return
+		}
+	}
+	var missing string
+	for _, v := range []int{phSucceeded, phFailed, phAborted} {
+		if !terminals[v] {
+			missing = phaseNames[v]
+		}
+	}
+	if allowed(pass, be.Pos(), "phasecheck") {
+		return
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos: be.Pos(), End: be.End(),
+		Message: "terminal-phase check forgets " + missing +
+			"; use Phase.Terminal() (or compare all three terminal phases)",
+	})
+}
+
+// collectPhaseCompares gathers `x cmpOp <terminal const>` leaves of a
+// same-operator chain. It fails (returns false) if any leaf has another
+// shape or the compared operand differs between leaves.
+func collectPhaseCompares(pass *analysis.Pass, e ast.Expr, cmpOp token.Token, operand *string, out map[int]bool) bool {
+	be, ok := unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == token.LOR || be.Op == token.LAND {
+		return collectPhaseCompares(pass, be.X, cmpOp, operand, out) &&
+			collectPhaseCompares(pass, be.Y, cmpOp, operand, out)
+	}
+	if be.Op != cmpOp {
+		return false
+	}
+	var x ast.Expr
+	var v int
+	if c, ok := phaseConst(pass, be.Y); ok {
+		x, v = be.X, c
+	} else if c, ok := phaseConst(pass, be.X); ok {
+		x, v = be.Y, c
+	} else {
+		return false
+	}
+	s := types.ExprString(unparen(x))
+	if *operand == "" {
+		*operand = s
+	} else if *operand != s {
+		return false
+	}
+	out[v] = true
+	return true
+}
+
+// checkPhaseLiteral enforces that Status composite literals in non-test
+// code start at PhasePending: objects are born Pending and only the
+// controller moves them.
+func checkPhaseLiteral(pass *analysis.Pass, cl *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(cl)
+	if t == nil || !namedTypeIn(t, "ctlplane", "Status") {
+		return
+	}
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Phase" {
+			continue
+		}
+		v, ok := phaseConst(pass, kv.Value)
+		if !ok || v == phPending {
+			continue
+		}
+		if allowed(pass, kv.Pos(), "phasecheck") {
+			continue
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: kv.Pos(), End: kv.End(),
+			Message: "Status literals must start at PhasePending (objects are born Pending; " +
+				"the controller owns every later phase)",
+		})
+	}
+}

@@ -1,0 +1,41 @@
+// Migration-control stubs for the outcomecheck fixtures: the error
+// return is the admission verdict, Outcome the three-valued result.
+// (No concurrency primitives here — this package doubles as the
+// shardsafe fixture.)
+package cluster
+
+// Outcome is RunUntilMigrated's three-valued verdict.
+type Outcome int
+
+// The verdicts.
+const (
+	OutcomeCompleted Outcome = iota
+	OutcomeAborted
+	OutcomeTimeout
+)
+
+// Migration is a stub migration record.
+type Migration struct{ VM string }
+
+// VMHandle is a stub VM handle.
+type VMHandle struct{ Name string }
+
+// Testbed is the stub migration driver.
+type Testbed struct{ launched int }
+
+// Migrate starts a migration; the error is the admission verdict.
+func (tb *Testbed) Migrate(vm, dest string) (*Migration, error) {
+	tb.launched++
+	return &Migration{VM: vm}, nil
+}
+
+// MigrateTuned is Migrate with explicit knobs.
+func (tb *Testbed) MigrateTuned(vm, dest string, capBytesPerSec int64) (*Migration, error) {
+	tb.launched++
+	return &Migration{VM: vm}, nil
+}
+
+// RunUntilMigrated drives the engine until the VM's migration ends.
+func (tb *Testbed) RunUntilMigrated(h *VMHandle, timeoutSeconds float64) Outcome {
+	return OutcomeCompleted
+}

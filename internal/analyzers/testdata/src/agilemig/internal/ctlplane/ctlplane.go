@@ -1,0 +1,69 @@
+// Package ctlplane is a fixture stub of the declarative migration
+// control plane: the Phase enum with its legal edges, the object types,
+// and the fake-cluster shapes the real package's tests use. Phasecheck's
+// in-package rules (transition legality) are exercised by transitions.go
+// in this directory; consumer-side rules live in the phasecheck fixture
+// package.
+package ctlplane
+
+// Phase is a migration object's lifecycle position.
+type Phase int
+
+// The six phases, in lifecycle order.
+const (
+	PhasePending Phase = iota
+	PhaseScheduling
+	PhaseRunning
+	PhaseSucceeded
+	PhaseFailed
+	PhaseAborted
+)
+
+// Terminal reports whether the phase is final.
+func (p Phase) Terminal() bool {
+	return p == PhaseSucceeded || p == PhaseFailed || p == PhaseAborted
+}
+
+// Spec is desired state.
+type Spec struct {
+	VM       string
+	DestHost string
+}
+
+// Status is observed state.
+type Status struct {
+	Phase  Phase
+	Dest   string
+	Reason string
+}
+
+// Migration is a named spec/status pair.
+type Migration struct {
+	Name   string
+	Spec   Spec
+	Status Status
+}
+
+// Handle is a live data-plane migration.
+type Handle interface {
+	Abort() bool
+	Switched() bool
+}
+
+// Cluster is the data plane the controller drives.
+type Cluster interface {
+	Launch(vm, dest string, onDone func()) (Handle, error)
+	VMHost(vm string) string
+}
+
+// Controller reconciles Migration objects.
+type Controller struct {
+	migs []*Migration
+}
+
+// Submit queues a migration for reconciliation.
+func (c *Controller) Submit(spec Spec) *Migration {
+	m := &Migration{Name: "mig-" + spec.VM, Spec: spec, Status: Status{Phase: PhasePending}}
+	c.migs = append(c.migs, m)
+	return m
+}

@@ -1,0 +1,133 @@
+// Package dettaint holds the core flow-sensitivity fixtures: sources
+// propagating through variables, helpers, fields and closures to the
+// four sink classes — and the kills (reassignment, sorting) that prove
+// the analysis is flow-sensitive rather than a glorified grep.
+package dettaint
+
+import (
+	"reflect"
+	"sort"
+	"time"
+
+	"agilemig/internal/metrics"
+	"agilemig/internal/trace"
+)
+
+// --- propagation through locals into emission ------------------------
+
+func emitsWallClock(em *trace.Emitter) {
+	t := time.Now()
+	sec := float64(t.Unix())
+	em.Emitf(sec, "tick", "now") // want `nondeterministic value from time.Now \(entropy\) reaches em.Emitf`
+}
+
+func emitsSimTime(em *trace.Emitter, nowSeconds float64) {
+	sec := nowSeconds
+	em.Emitf(sec, "tick", "now") // clean: engine-provided time
+}
+
+// --- strong updates kill taint ---------------------------------------
+
+func killedByReassign(em *trace.Emitter) {
+	x := time.Now().UnixNano()
+	x = 42 // overwrites the tainted value
+	em.Emitf(float64(x), "tick", "now")
+}
+
+func mayTaintAcrossJoin(em *trace.Emitter, fast bool) {
+	var x int64 = 7
+	if fast {
+		x = time.Now().UnixNano()
+	}
+	em.Emitf(float64(x), "tick", "now") // want `nondeterministic value from time.Now \(entropy\)`
+}
+
+// --- package-local helper summaries ----------------------------------
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func stampIndirect() int64 {
+	return stamp() // helper chain: still tainted
+}
+
+func countsWallClock(c *metrics.Counter) {
+	c.Add(stampIndirect()) // want `nondeterministic value from time.Now \(entropy\) reaches c.Add`
+}
+
+// --- sinks: package state, exported returns, channel sends -----------
+
+var lastStampNanos int64
+
+func storesWallClock() {
+	lastStampNanos = stamp() // want `nondeterministic value from time.Now \(entropy\) is stored in package-level var lastStampNanos`
+}
+
+// Epoch is exported, so a tainted return escapes the package.
+func Epoch() int64 {
+	return stamp() // want `nondeterministic value from time.Now \(entropy\) is returned from exported Epoch`
+}
+
+func sendsWallClock(ch chan int64) {
+	ch <- stamp() // want `nondeterministic value from time.Now \(entropy\) is sent on a channel`
+}
+
+// unexported returns stay quiet: the caller-side sink reports instead.
+func epochInternal() int64 {
+	return stamp()
+}
+
+// --- struct-field and closure propagation ----------------------------
+
+type sample struct {
+	when int64
+	v    float64
+}
+
+func emitsField(em *trace.Emitter) {
+	var s sample
+	s.when = time.Now().UnixNano()
+	s.v = 1.5
+	em.Emitf(float64(s.when), "sample", "s") // want `nondeterministic value from time.Now \(entropy\)`
+}
+
+func closureCapture(em *trace.Emitter) {
+	t := time.Now().UnixNano()
+	emit := func() {
+		em.Emitf(float64(t), "tick", "now") // want `nondeterministic value from time.Now \(entropy\)`
+	}
+	emit()
+}
+
+// --- sanitizers -------------------------------------------------------
+
+// SortedKeys is exported and returns reflect-derived map keys — but the
+// sort re-establishes a deterministic order, killing the order taint.
+func SortedKeys(m map[string]bool) []string {
+	v := reflect.ValueOf(m)
+	var out []string
+	for _, kv := range v.MapKeys() {
+		out = append(out, kv.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RawKeys is the same shape without the sort: the order taint survives
+// to the exported return.
+func RawKeys(m map[string]bool) []string {
+	v := reflect.ValueOf(m)
+	var out []string
+	for _, kv := range v.MapKeys() {
+		out = append(out, kv.String())
+	}
+	return out // want `nondeterministic value from reflect.Value.MapKeys \(order\) is returned from exported RawKeys`
+}
+
+// --- escape hatch -----------------------------------------------------
+
+func waived(em *trace.Emitter) {
+	//lint:dettaint wall-clock benchmark harness, never in golden runs
+	em.Emitf(float64(time.Now().Unix()), "bench", "wall")
+}

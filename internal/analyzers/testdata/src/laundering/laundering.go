@@ -1,0 +1,73 @@
+// Package laundering holds nondeterminism shapes that the v1 syntax
+// analyzers (detrand, maporder) pass by construction and dettaint must
+// reject. TestLaunderingBeatsV1 runs all three analyzers over this
+// package and asserts detrand and maporder stay silent while every
+// dettaint want-comment fires.
+package laundering
+
+import (
+	"fmt"
+	. "math/rand" // dot import: Intn/Int63 resolve with no SelectorExpr for detrand to see
+	"reflect"
+
+	"agilemig/internal/metrics"
+	"agilemig/internal/trace"
+)
+
+// shape 1: dot-imported global rand — no SelectorExpr for detrand to see.
+func drawJitter(c *metrics.Counter) {
+	j := Intn(8)
+	c.Add(int64(j)) // want `nondeterministic value from math/rand.Intn \(entropy\) reaches c.Add`
+}
+
+// shape 2: map-iteration-coupled counter. Maporder allows both the keyed
+// write (distinct slot per iteration) and the commutative i++ — but
+// pairing the counter's per-iteration value with the key records exactly
+// the iteration order.
+func Ranks(m map[string]int) map[string]int {
+	order := make(map[string]int, len(m))
+	i := 0
+	for k := range m {
+		order[k] = i
+		i++
+	}
+	return order // want `nondeterministic value from map-iteration-coupled counter i \(order\) is returned from exported Ranks`
+}
+
+// the counter alone (no key pairing) stays clean: reading it after the
+// loop is a plain cardinality count.
+func Count(m map[string]int) int {
+	i := 0
+	for range m {
+		i++
+	}
+	return i
+}
+
+// shape 3: reflect-based key extraction — no *ast.RangeStmt over a map,
+// so maporder never looks.
+func Keys(m map[string]bool) []string {
+	var out []string
+	for _, kv := range reflect.ValueOf(m).MapKeys() {
+		out = append(out, kv.String())
+	}
+	return out // want `nondeterministic value from reflect.Value.MapKeys \(order\) is returned from exported Keys`
+}
+
+// shape 4: pointer identity laundered through %p formatting.
+type handle struct{ n int }
+
+func tagHandle(tr *trace.Trace, h *handle) {
+	id := fmt.Sprintf("%p", h)
+	tr.Add(0, "handle", id) // want `nondeterministic value from fmt.Sprintf\(%p\) \(identity\) reaches tr.Add`
+}
+
+// shape 5: a closure capturing a dot-imported entropy source, stored in
+// package state — the call site that finally leaks is in another file,
+// another day.
+var stamper func() int64
+
+func armStamper() {
+	f := func() int64 { return Int63() }
+	stamper = f // want `nondeterministic value from math/rand.Int63 \(entropy\) is stored in package-level var stamper`
+}

@@ -1,0 +1,28 @@
+// Package multisuppress fixtures the escape-hatch interaction rule: a
+// //lint:<analyzer> annotation suppresses exactly that analyzer, never a
+// different analyzer's diagnostic on the same line. Both functions here
+// trip detrand (the time.Now selector) AND dettaint (the tainted value
+// reaching emission) on the same line; each suppresses only one of them.
+// TestMultiAnalyzerSuppression asserts the counts programmatically — no
+// want comments, since each analyzer sees a different subset.
+package multisuppress
+
+import (
+	"time"
+
+	"agilemig/internal/trace"
+)
+
+// SuppressDetrandOnly waives the wall-clock BAN but not the taint FLOW:
+// dettaint must still report this line.
+func SuppressDetrandOnly(em *trace.Emitter) {
+	//lint:detrand wall-clock benchmark row, excluded from goldens
+	em.Emitf(float64(time.Now().Unix()), "bench", "wall")
+}
+
+// SuppressDettaintOnly waives the taint flow but not the call-site ban:
+// detrand must still report this line.
+func SuppressDettaintOnly(em *trace.Emitter) {
+	//lint:dettaint value feeds the bench row only, not simulation state
+	em.Emitf(float64(time.Now().Unix()), "bench", "wall")
+}

@@ -1,0 +1,118 @@
+// Package outcomecheck holds the fixtures for the unchecked-verdict
+// analyzer: discarded Migrate/Launch errors and Outcome-as-bool shapes.
+package outcomecheck
+
+import (
+	"agilemig/internal/cluster"
+	"agilemig/internal/ctlplane"
+)
+
+// --- discarded admission verdicts ------------------------------------
+
+func discards(tb *cluster.Testbed) {
+	tb.Migrate("vm0", "hostB")             // want `Migrate's error is the admission verdict .* discarded`
+	tb.MigrateTuned("vm0", "hostB", 1<<20) // want `MigrateTuned's error is the admission verdict .* discarded`
+	go tb.Migrate("vm1", "hostC")          // want `Migrate's error is the admission verdict .* discarded by go statement`
+	defer tb.Migrate("vm2", "hostD")       // want `Migrate's error is the admission verdict .* discarded by defer`
+	m, _ := tb.Migrate("vm3", "hostE")     // want `Migrate's error is the admission verdict .* assigned to _`
+	_ = m
+}
+
+func handles(tb *cluster.Testbed) error {
+	m, err := tb.Migrate("vm0", "hostB")
+	if err != nil {
+		return err
+	}
+	_ = m
+	return nil
+}
+
+func waivedDiscard(tb *cluster.Testbed) {
+	//lint:outcomecheck capacity preflight already validated this placement
+	tb.Migrate("vm0", "hostB")
+}
+
+func launchDiscard(cl ctlplane.Cluster) {
+	cl.Launch("vm0", "hostB", nil) // want `Launch's error is the admission verdict .* discarded`
+}
+
+// --- Outcome misuse ---------------------------------------------------
+
+func dropsOutcome(tb *cluster.Testbed, h *cluster.VMHandle) {
+	tb.RunUntilMigrated(h, 120) // want `RunUntilMigrated's Outcome is discarded`
+}
+
+func blanksOutcome(tb *cluster.Testbed, h *cluster.VMHandle) {
+	_ = tb.RunUntilMigrated(h, 120) // want `RunUntilMigrated's Outcome is discarded`
+}
+
+func bareInteger(tb *cluster.Testbed, h *cluster.VMHandle) bool {
+	out := tb.RunUntilMigrated(h, 120)
+	return out == 0 // want `Outcome compared against bare integer 0`
+}
+
+func boolCollapse(tb *cluster.Testbed, h *cluster.VMHandle) {
+	out := tb.RunUntilMigrated(h, 120)
+	done := out == cluster.OutcomeCompleted // want `Outcome collapsed to a bool \(stored in a bool\)`
+	_ = done
+}
+
+func boolReturn(tb *cluster.Testbed, h *cluster.VMHandle) bool {
+	out := tb.RunUntilMigrated(h, 120)
+	return out != cluster.OutcomeCompleted // want `Outcome collapsed to a bool \(returned as a bool\)`
+}
+
+type report struct{ ok bool }
+
+func boolField(out cluster.Outcome) report {
+	return report{ok: out == cluster.OutcomeCompleted} // want `Outcome collapsed to a bool \(stored in a composite literal field\)`
+}
+
+// branching on the comparison is the intended use.
+func branches(tb *cluster.Testbed, h *cluster.VMHandle) {
+	out := tb.RunUntilMigrated(h, 120)
+	if out != cluster.OutcomeCompleted {
+		panic("migration did not complete")
+	}
+	for out == cluster.OutcomeTimeout {
+		out = tb.RunUntilMigrated(h, 120)
+	}
+}
+
+func waivedCollapse(out cluster.Outcome) bool {
+	//lint:outcomecheck summary row only distinguishes success
+	return out == cluster.OutcomeCompleted
+}
+
+// --- Outcome switches -------------------------------------------------
+
+func switchMissesTimeout(out cluster.Outcome) string {
+	switch out { // want `switch over cluster.Outcome ignores OutcomeTimeout`
+	case cluster.OutcomeCompleted:
+		return "ok"
+	case cluster.OutcomeAborted:
+		return "rolled back"
+	}
+	return ""
+}
+
+func switchExhaustive(out cluster.Outcome) string {
+	switch out {
+	case cluster.OutcomeCompleted:
+		return "ok"
+	case cluster.OutcomeAborted:
+		return "rolled back"
+	case cluster.OutcomeTimeout:
+		return "timed out"
+	}
+	return ""
+}
+
+func switchDefault(out cluster.Outcome) string {
+	switch out {
+	case cluster.OutcomeCompleted:
+		return "ok"
+	default:
+		return "failed"
+	}
+}

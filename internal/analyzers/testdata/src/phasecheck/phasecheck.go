@@ -1,0 +1,117 @@
+// Package phasecheck holds the consumer-side fixtures: exhaustive
+// switches, terminal-phase chains, controller ownership of status
+// writes, and Status literal construction, all from outside ctlplane.
+package phasecheck
+
+import (
+	"agilemig/internal/ctlplane"
+)
+
+// --- switch exhaustiveness -------------------------------------------
+
+func countNonExhaustive(migs []*ctlplane.Migration) (running int) {
+	for _, m := range migs {
+		switch m.Status.Phase { // want `switch over ctlplane.Phase silently ignores PhaseAborted`
+		case ctlplane.PhasePending:
+		case ctlplane.PhaseScheduling:
+		case ctlplane.PhaseRunning:
+			running++
+		case ctlplane.PhaseSucceeded:
+		case ctlplane.PhaseFailed:
+		}
+	}
+	return running
+}
+
+func countExhaustive(migs []*ctlplane.Migration) (running int) {
+	for _, m := range migs {
+		switch m.Status.Phase {
+		case ctlplane.PhasePending, ctlplane.PhaseScheduling:
+		case ctlplane.PhaseRunning:
+			running++
+		case ctlplane.PhaseSucceeded, ctlplane.PhaseFailed, ctlplane.PhaseAborted:
+		}
+	}
+	return running
+}
+
+func countWithDefault(m *ctlplane.Migration) string {
+	switch m.Status.Phase {
+	case ctlplane.PhaseRunning:
+		return "running"
+	default:
+		return "other"
+	}
+}
+
+func waived(m *ctlplane.Migration) bool {
+	//lint:phasecheck only pre-launch phases can hold a queue position
+	switch m.Status.Phase {
+	case ctlplane.PhasePending, ctlplane.PhaseScheduling:
+		return true
+	}
+	return false
+}
+
+// --- terminal-phase chains -------------------------------------------
+
+func doneForgetsAborted(m *ctlplane.Migration) bool {
+	return m.Status.Phase == ctlplane.PhaseSucceeded || m.Status.Phase == ctlplane.PhaseFailed // want `terminal-phase check forgets PhaseAborted`
+}
+
+func doneForgetsFailed(m *ctlplane.Migration) bool {
+	return m.Status.Phase == ctlplane.PhaseSucceeded || m.Status.Phase == ctlplane.PhaseAborted // want `terminal-phase check forgets PhaseFailed`
+}
+
+func liveForgetsAborted(m *ctlplane.Migration) bool {
+	return m.Status.Phase != ctlplane.PhaseSucceeded && m.Status.Phase != ctlplane.PhaseFailed // want `terminal-phase check forgets PhaseAborted`
+}
+
+func doneAllThree(m *ctlplane.Migration) bool {
+	return m.Status.Phase == ctlplane.PhaseSucceeded ||
+		m.Status.Phase == ctlplane.PhaseFailed ||
+		m.Status.Phase == ctlplane.PhaseAborted
+}
+
+func doneViaTerminal(m *ctlplane.Migration) bool {
+	return m.Status.Phase.Terminal()
+}
+
+// a two-way comparison that is NOT a terminal check stays legal: one of
+// the operands is a non-terminal phase.
+func schedulingOrFailed(m *ctlplane.Migration) bool {
+	return m.Status.Phase == ctlplane.PhaseScheduling || m.Status.Phase == ctlplane.PhaseFailed
+}
+
+// mixed operands never form a chain.
+func differentObjects(a, b *ctlplane.Migration) bool {
+	return a.Status.Phase == ctlplane.PhaseSucceeded || b.Status.Phase == ctlplane.PhaseFailed
+}
+
+// --- controller ownership of status writes ---------------------------
+
+func forcePhase(m *ctlplane.Migration) {
+	m.Status.Phase = ctlplane.PhaseSucceeded // want `ctlplane phases are controller-owned`
+}
+
+func forcePhaseWaived(m *ctlplane.Migration) {
+	//lint:phasecheck fault-injection shim, never linked into experiments
+	m.Status.Phase = ctlplane.PhaseAborted
+}
+
+// local scratch Phase variables are not status writes.
+func scratchPhase() ctlplane.Phase {
+	var p ctlplane.Phase
+	p = ctlplane.PhaseRunning
+	return p
+}
+
+// --- Status literals --------------------------------------------------
+
+func freshStatus() ctlplane.Status {
+	return ctlplane.Status{Phase: ctlplane.PhasePending, Reason: "queued"}
+}
+
+func bornRunning() ctlplane.Status {
+	return ctlplane.Status{Phase: ctlplane.PhaseRunning} // want `Status literals must start at PhasePending`
+}

@@ -89,12 +89,16 @@ func RunAblationActivePush(scale float64, seed uint64) *AblationPushResult {
 // a destination-reachable swap device (the VMware-style configuration:
 // cold pages must be swapped in at the source and transferred).
 type AblationRemoteSwapResult struct {
-	AgileSeconds   float64
-	AgileMB        float64
-	NoRemoteSecs   float64
-	NoRemoteMB     float64
-	NoRemoteDone   bool
-	AgileOffsetRec int64
+	AgileSeconds float64
+	AgileMB      float64
+	NoRemoteSecs float64
+	NoRemoteMB   float64
+	// NoRemoteOutcome is the full verdict for the no-remote-swap half; a
+	// run that printed completed=false used to be unattributable between
+	// an abort and a timeout.
+	NoRemoteOutcome cluster.Outcome
+	NoRemoteDone    bool
+	AgileOffsetRec  int64
 }
 
 // RunAblationRemoteSwap quantifies the per-VM remote swap device's
@@ -118,7 +122,9 @@ func RunAblationRemoteSwap(scale float64, seed uint64, parallelism ...int) *Abla
 		tb2, h2 := ablationScenario(scale, seed)
 		mustMigrateTuned(tb2, h2, core.Agile, scaleBytes(4*cluster.GiB, scale),
 			core.Tuning{NoRemoteSwap: true})
-		half.NoRemoteDone = tb2.RunUntilMigrated(h2, scaleSeconds(8000, scale)) == cluster.OutcomeCompleted
+		half.NoRemoteOutcome = tb2.RunUntilMigrated(h2, scaleSeconds(8000, scale))
+		//lint:outcomecheck derived view; the full verdict stays in NoRemoteOutcome
+		half.NoRemoteDone = half.NoRemoteOutcome == cluster.OutcomeCompleted
 		if h2.Result != nil {
 			half.NoRemoteSecs = h2.Result.TotalSeconds
 			half.NoRemoteMB = float64(h2.Result.BytesTransferred) / 1e6
@@ -128,6 +134,7 @@ func RunAblationRemoteSwap(scale float64, seed uint64, parallelism ...int) *Abla
 	res.AgileSeconds = halves[0].AgileSeconds
 	res.AgileMB = halves[0].AgileMB
 	res.AgileOffsetRec = halves[0].AgileOffsetRec
+	res.NoRemoteOutcome = halves[1].NoRemoteOutcome
 	res.NoRemoteDone = halves[1].NoRemoteDone
 	res.NoRemoteSecs = halves[1].NoRemoteSecs
 	res.NoRemoteMB = halves[1].NoRemoteMB

@@ -57,6 +57,8 @@ type AppPerfResult struct {
 }
 
 // Completed reports whether the migration finished (source drained).
+//
+//lint:outcomecheck derived view; the full verdict stays in r.Outcome
 func (r *AppPerfResult) Completed() bool { return r.Outcome == cluster.OutcomeCompleted }
 
 // RunAppPerf executes one cell.

@@ -220,6 +220,12 @@ func TestAblationRemoteSwap(t *testing.T) {
 	if r.AgileSeconds <= 0 || !r.NoRemoteDone {
 		t.Fatalf("runs incomplete: agile %.1f, noremote done %v", r.AgileSeconds, r.NoRemoteDone)
 	}
+	// Regression (outcomecheck sweep): the full verdict must survive, not
+	// just the collapsed bool — a timed-out and an aborted run used to be
+	// indistinguishable here.
+	if r.NoRemoteOutcome != cluster.OutcomeCompleted {
+		t.Fatalf("NoRemoteOutcome = %v, want OutcomeCompleted to match NoRemoteDone", r.NoRemoteOutcome)
+	}
 	if r.NoRemoteMB <= r.AgileMB {
 		t.Errorf("no-remote-swap transferred %.0f MB <= agile %.0f MB", r.NoRemoteMB, r.AgileMB)
 	}

@@ -18,6 +18,8 @@ type ScatterEvictionRow struct {
 }
 
 // Completed reports whether the migration finished (source drained).
+//
+//lint:outcomecheck derived view; the full verdict stays in r.Outcome
 func (r ScatterEvictionRow) Completed() bool { return r.Outcome == cluster.OutcomeCompleted }
 
 // RunScatterEviction compares how fast each technique frees the source

@@ -66,6 +66,8 @@ type SizeSweepRow struct {
 }
 
 // Completed reports whether the migration finished (source drained).
+//
+//lint:outcomecheck derived view; the full verdict stays in r.Outcome
 func (r SizeSweepRow) Completed() bool { return r.Outcome == cluster.OutcomeCompleted }
 
 // SizeSweepHostRAM is the host memory for the sweep (§V-B keeps it at 6 GB

@@ -1,0 +1,248 @@
+// Package ctrlflow is an analysis that provides a syntactic
+// control-flow graph (CFG) for the body of each function declaration
+// and function literal in a package. It records whether a function
+// cannot return. This is an offline, API-compatible subset of
+// golang.org/x/tools/go/analysis/passes/ctrlflow: it performs the same
+// per-package noReturn inference but does not export facts across
+// packages (the clean-room driver has no fact support), so only
+// intra-package and well-known standard-library no-return calls prune
+// CFG edges.
+package ctrlflow
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "ctrlflow",
+	Doc:        "build a control-flow graph",
+	URL:        "https://pkg.go.dev/golang.org/x/tools/go/analysis/passes/ctrlflow",
+	Run:        run,
+	ResultType: reflect.TypeOf(new(CFGs)),
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+}
+
+// A CFGs holds the control-flow graphs for all the functions of the
+// current package.
+type CFGs struct {
+	defs      map[*ast.Ident]types.Object // from TypesInfo.Defs
+	funcDecls map[*types.Func]*declInfo
+	funcLits  map[*ast.FuncLit]*litInfo
+	pass      *analysis.Pass
+}
+
+type declInfo struct {
+	decl     *ast.FuncDecl
+	cfg      *cfg.CFG // iff decl.Body != nil
+	started  bool     // to break cycles
+	noReturn bool
+}
+
+type litInfo struct {
+	cfg      *cfg.CFG
+	noReturn bool
+}
+
+// FuncDecl returns the control-flow graph for a named function. It
+// returns nil if decl.Body==nil.
+func (c *CFGs) FuncDecl(decl *ast.FuncDecl) *cfg.CFG {
+	if decl.Body == nil {
+		return nil
+	}
+	fn := c.defs[decl.Name].(*types.Func)
+	return c.funcDecls[fn].cfg
+}
+
+// FuncLit returns the control-flow graph for a literal function.
+func (c *CFGs) FuncLit(lit *ast.FuncLit) *cfg.CFG {
+	return c.funcLits[lit].cfg
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	inspect := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Because CFG construction consumes and produces noReturn
+	// information, CFGs for exported FuncDecls are built first, in
+	// reverse topological order of the intra-package call graph (a
+	// lazy demand-driven traversal).
+	c := &CFGs{
+		defs:      pass.TypesInfo.Defs,
+		funcDecls: make(map[*types.Func]*declInfo),
+		funcLits:  make(map[*ast.FuncLit]*litInfo),
+		pass:      pass,
+	}
+
+	// Pass 1: index the package's own function declarations.
+	var decls []*ast.FuncDecl
+	inspect.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if obj, ok := c.defs[decl.Name].(*types.Func); ok {
+			c.funcDecls[obj] = &declInfo{decl: decl}
+			decls = append(decls, decl)
+		}
+	})
+
+	// Pass 2: build the CFG of each FuncDecl body, demand-building
+	// callee CFGs first so their noReturn results are available.
+	for _, decl := range decls {
+		obj := c.defs[decl.Name].(*types.Func)
+		c.buildDecl(obj, c.funcDecls[obj])
+	}
+
+	// Pass 3: build the CFG of each FuncLit, in source order.
+	inspect.Preorder([]ast.Node{(*ast.FuncLit)(nil)}, func(n ast.Node) {
+		lit := n.(*ast.FuncLit)
+		if _, ok := c.funcLits[lit]; !ok {
+			li := new(litInfo)
+			c.funcLits[lit] = li
+			li.cfg = cfg.New(lit.Body, c.callMayReturn)
+			li.noReturn = !hasReachableReturn(li.cfg)
+		}
+	})
+
+	return c, nil
+}
+
+// buildDecl builds the CFG for decl (if not already built) and records
+// whether it cannot return.
+func (c *CFGs) buildDecl(fn *types.Func, di *declInfo) {
+	if di.started {
+		return // break cycles (recursive functions assumed to return)
+	}
+	di.started = true
+	if di.decl.Body != nil {
+		di.cfg = cfg.New(di.decl.Body, c.callMayReturn)
+		di.noReturn = !hasReachableReturn(di.cfg)
+	}
+}
+
+// callMayReturn reports whether the called function may return. It is
+// the hook passed to cfg.New.
+func (c *CFGs) callMayReturn(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == panicBuiltin {
+		return false // panic never returns
+	}
+
+	// Is this a static call to a known function?
+	fn := typeutilStaticCallee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return true // callee unknown; assume it returns
+	}
+
+	if fn.Pkg() == c.pass.Pkg {
+		if di, ok := c.funcDecls[fn]; ok {
+			c.buildDecl(fn, di) // demand-build the callee first
+			return !di.noReturn
+		}
+		return true
+	}
+
+	return !isIntrinsicNoReturn(fn)
+}
+
+var panicBuiltin = types.Universe.Lookup("panic").(*types.Builtin)
+
+// hasReachableReturn reports whether the CFG has a live block ending
+// the function normally (no successors and not closed by a
+// non-returning call): conservatively, any live block whose last node
+// is a return, or a live block with no successors at all that isn't
+// the unreachable continuation of a no-return call.
+func hasReachableReturn(g *cfg.CFG) bool {
+	for _, b := range g.Blocks {
+		if !b.Live || len(b.Succs) > 0 {
+			continue
+		}
+		if b.Kind == cfg.KindUnreachable {
+			// Continuation after return/panic/branch: live only if some
+			// goto targets it, in which case Live would be true and the
+			// block reachable, so re-check nodes below.
+			if len(b.Nodes) == 0 {
+				continue
+			}
+		}
+		return true
+	}
+	// A function whose entry block itself is empty with no successors
+	// (empty body) returns trivially.
+	if len(g.Blocks) > 0 {
+		b := g.Blocks[0]
+		if b.Live && len(b.Succs) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// isIntrinsicNoReturn reports whether a function intrinsically never
+// returns because it stops execution of the calling thread. Without
+// cross-package facts this is the only knowledge we have of external
+// callees.
+func isIntrinsicNoReturn(fn *types.Func) bool {
+	path, name := "", fn.Name()
+	if pkg := fn.Pkg(); pkg != nil {
+		path = pkg.Path()
+	}
+	switch path {
+	case "syscall":
+		return name == "Exit" || name == "ExitProcess" || name == "ExitThread"
+	case "runtime":
+		return name == "Goexit"
+	case "os":
+		return name == "Exit"
+	case "log":
+		return name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+			name == "Panic" || name == "Panicf" || name == "Panicln"
+	case "testing":
+		// (*T).Fatal etc. are methods, handled below.
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && path == "testing" {
+		switch name {
+		case "FailNow", "Fatal", "Fatalf", "SkipNow", "Skip", "Skipf":
+			return true
+		}
+	}
+	return false
+}
+
+// typeutilStaticCallee returns the target (function or method) of a
+// static function call, if any. Inlined from go/types/typeutil to keep
+// the subset small.
+func typeutilStaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := astUnparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun] // type, var, builtin, or declared func
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj() // method or field
+		} else {
+			obj = info.Uses[fun.Sel] // qualified identifier?
+		}
+	}
+	if f, ok := obj.(*types.Func); ok && !interfaceMethod(f) {
+		return f
+	}
+	return nil
+}
+
+func interfaceMethod(f *types.Func) bool {
+	recv := f.Type().(*types.Signature).Recv()
+	return recv != nil && types.IsInterface(recv.Type())
+}
+
+func astUnparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

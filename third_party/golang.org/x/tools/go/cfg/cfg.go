@@ -1,0 +1,592 @@
+// Package cfg constructs a simple intraprocedural control-flow graph
+// (CFG) of the statements and expressions within a single function. This
+// is an offline, API-compatible subset of golang.org/x/tools/go/cfg; see
+// the module README for what is and is not supported.
+//
+// The blocks of the CFG contain all the function's non-control
+// statements, plus the condition and iteration expressions of its
+// control statements, in order of execution: a block's Nodes are
+// executed first to last, after which control transfers to exactly one
+// of Succs (or the function returns, when Succs is empty). Expressions
+// are not decomposed further — short-circuit evaluation inside a
+// condition, and panics from any expression, are not modeled. That makes
+// the graph suitable for conservative forward dataflow (may-analyses)
+// over declared variables, which is what the agilelint analyzers need.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"strings"
+)
+
+// A CFG represents the control-flow graph of a single function.
+//
+// Blocks[0] is the entry block. A block with no successors ends the
+// function (an explicit return, a call that cannot return, or falling
+// off the end of the body).
+type CFG struct {
+	Blocks []*Block
+}
+
+// A Block represents a basic block: a region of straight-line code with
+// one entry point and one exit point.
+type Block struct {
+	Nodes []ast.Node // statements, expressions, and ValueSpecs
+	Succs []*Block   // successor nodes in the graph
+	Index int32      // index within CFG.Blocks
+	Live  bool       // block is reachable from entry
+	Kind  BlockKind  // block kind
+	Stmt  ast.Stmt   // statement that gave rise to this block (see BlockKind)
+}
+
+// A BlockKind identifies the purpose of a block; it is purely
+// descriptive (used by Format and debugging output).
+type BlockKind int32
+
+// Block kinds, a subset of upstream's.
+const (
+	KindInvalid BlockKind = iota
+	KindUnreachable
+	KindBody
+	KindDone
+	KindForBody
+	KindForDone
+	KindForLoop
+	KindForPost
+	KindIfDone
+	KindIfElse
+	KindIfThen
+	KindLabel
+	KindRangeBody
+	KindRangeDone
+	KindRangeLoop
+	KindSelectAfterCase
+	KindSelectCaseBody
+	KindSelectDone
+	KindSwitchCaseBody
+	KindSwitchDone
+	KindSwitchNextCase
+)
+
+func (kind BlockKind) String() string {
+	switch kind {
+	case KindUnreachable:
+		return "unreachable"
+	case KindBody:
+		return "body"
+	case KindDone:
+		return "done"
+	case KindForBody:
+		return "for.body"
+	case KindForDone:
+		return "for.done"
+	case KindForLoop:
+		return "for.loop"
+	case KindForPost:
+		return "for.post"
+	case KindIfDone:
+		return "if.done"
+	case KindIfElse:
+		return "if.else"
+	case KindIfThen:
+		return "if.then"
+	case KindLabel:
+		return "label"
+	case KindRangeBody:
+		return "range.body"
+	case KindRangeDone:
+		return "range.done"
+	case KindRangeLoop:
+		return "range.loop"
+	case KindSelectAfterCase:
+		return "select.aftercase"
+	case KindSelectCaseBody:
+		return "select.casebody"
+	case KindSelectDone:
+		return "select.done"
+	case KindSwitchCaseBody:
+		return "switch.casebody"
+	case KindSwitchDone:
+		return "switch.done"
+	case KindSwitchNextCase:
+		return "switch.nextcase"
+	}
+	return "invalid"
+}
+
+// New returns a new control-flow graph for the specified function body,
+// which must be non-nil.
+//
+// The CFG builder calls mayReturn to determine whether a given function
+// call may return. For example, calls to panic, os.Exit, and log.Fatal
+// do not return, so the builder can remove infeasible graph edges
+// following such calls. The builder calls mayReturn only for a
+// CallExpr beneath an ExprStmt.
+func New(body *ast.BlockStmt, mayReturn func(*ast.CallExpr) bool) *CFG {
+	b := &builder{
+		mayReturn: mayReturn,
+		cfg:       new(CFG),
+		lblocks:   make(map[string]*lblock),
+	}
+	b.current = b.newBlock(KindBody, body)
+	b.stmt(body)
+	// Compute liveness (reachability from entry).
+	if len(b.cfg.Blocks) > 0 {
+		markLive(b.cfg.Blocks[0])
+	}
+	return b.cfg
+}
+
+func markLive(blk *Block) {
+	if blk.Live {
+		return
+	}
+	blk.Live = true
+	for _, succ := range blk.Succs {
+		markLive(succ)
+	}
+}
+
+// Format formats the control-flow graph for ease of debugging.
+func (g *CFG) Format(fset *token.FileSet) string {
+	var buf strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&buf, ".%d: # %s\n", b.Index, b.Kind)
+		for _, n := range b.Nodes {
+			fmt.Fprintf(&buf, "\t%s\n", formatNode(fset, n))
+		}
+		if len(b.Succs) > 0 {
+			fmt.Fprintf(&buf, "\tsuccs:")
+			for _, succ := range b.Succs {
+				fmt.Fprintf(&buf, " %d", succ.Index)
+			}
+			buf.WriteByte('\n')
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+func formatNode(fset *token.FileSet, n ast.Node) string {
+	var buf strings.Builder
+	format.Node(&buf, fset, n)
+	// Indent secondary lines by a tab.
+	return string(strings.ReplaceAll(buf.String(), "\n", "\n\t"))
+}
+
+// builder holds the in-progress graph and the construction state.
+type builder struct {
+	cfg       *CFG
+	mayReturn func(*ast.CallExpr) bool
+	current   *Block
+	lblocks   map[string]*lblock // labeled blocks, by label name
+	targets   *targets           // innermost enclosing loop/switch/select
+}
+
+// targets is a chain of the jump destinations in scope: where break,
+// continue and fallthrough transfer control for each enclosing
+// breakable/continuable statement.
+type targets struct {
+	tail         *targets // rest of stack
+	breakLabel   string   // label of the statement, "" if unlabeled
+	breakTarget  *Block   // where break jumps (nil if not breakable)
+	continueTgt  *Block   // where continue jumps (nil if not continuable)
+	fallthroughT *Block   // where fallthrough jumps (nil outside switch cases)
+}
+
+// lblock records the destinations of jumps to a named label.
+type lblock struct {
+	gotoTarget  *Block // the labeled statement itself
+	breakTarget *Block // filled in when the labeled statement is built
+	continueTgt *Block
+}
+
+// labeledBlock returns the branch target associated with the specified
+// label, creating it if needed.
+func (b *builder) labeledBlock(name string) *lblock {
+	lb := b.lblocks[name]
+	if lb == nil {
+		lb = &lblock{gotoTarget: b.newBlock(KindLabel, nil)}
+		b.lblocks[name] = lb
+	}
+	return lb
+}
+
+// newBlock appends a new empty block to the graph and returns it. It
+// does not automatically become the current block.
+func (b *builder) newBlock(kind BlockKind, stmt ast.Stmt) *Block {
+	g := b.cfg
+	blk := &Block{Index: int32(len(g.Blocks)), Kind: kind, Stmt: stmt}
+	g.Blocks = append(g.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block.
+func (b *builder) add(n ast.Node) {
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+// jump adds an edge from the current block to target and leaves the
+// current block without further successors (a new current block must be
+// set before more nodes are added).
+func (b *builder) jump(target *Block) {
+	b.current.Succs = append(b.current.Succs, target)
+}
+
+// ifelse adds the two conditional successor edges.
+func (b *builder) ifelse(t, f *Block) {
+	b.current.Succs = append(b.current.Succs, t, f)
+}
+
+// startUnreachable parks the builder on a fresh block with no
+// predecessors, for code following a terminating statement.
+func (b *builder) startUnreachable(s ast.Stmt) {
+	b.current = b.newBlock(KindUnreachable, s)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil, *ast.BadStmt, *ast.EmptyStmt:
+		// nothing to do
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.GoStmt, *ast.DeferStmt,
+		*ast.IncDecStmt, *ast.SendStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := astUnparen(s.X).(*ast.CallExpr); ok && !b.mayReturn(call) {
+			// Calls to panic, os.Exit, etc., never return.
+			b.startUnreachable(s)
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.startUnreachable(s)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.LabeledStmt:
+		lb := b.labeledBlock(s.Label.Name)
+		b.jump(lb.gotoTarget)
+		b.current = lb.gotoTarget
+		b.labeledStmt(s.Label.Name, lb, s.Stmt)
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.ifStmt("", s)
+
+	case *ast.ForStmt:
+		b.forStmt("", nil, s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt("", nil, s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt("", nil, s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt("", nil, s)
+
+	case *ast.SelectStmt:
+		b.selectStmt("", nil, s)
+
+	default:
+		panic(fmt.Sprintf("cfg: unexpected statement kind: %T", s))
+	}
+}
+
+// labeledStmt builds the statement carried by a label, wiring break
+// L / continue L to the right blocks.
+func (b *builder) labeledStmt(label string, lb *lblock, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(label, lb, s)
+	case *ast.RangeStmt:
+		b.rangeStmt(label, lb, s)
+	case *ast.SwitchStmt:
+		b.switchStmt(label, lb, s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(label, lb, s)
+	case *ast.SelectStmt:
+		b.selectStmt(label, lb, s)
+	case *ast.IfStmt:
+		b.ifStmt(label, s) // break L inside applies to nothing; if has no break
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if lb := b.lblocks[s.Label.Name]; lb != nil {
+				target = lb.breakTarget
+			}
+		} else {
+			for t := b.targets; t != nil; t = t.tail {
+				if t.breakTarget != nil {
+					target = t.breakTarget
+					break
+				}
+			}
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if lb := b.lblocks[s.Label.Name]; lb != nil {
+				target = lb.continueTgt
+			}
+		} else {
+			for t := b.targets; t != nil; t = t.tail {
+				if t.continueTgt != nil {
+					target = t.continueTgt
+					break
+				}
+			}
+		}
+	case token.FALLTHROUGH:
+		for t := b.targets; t != nil; t = t.tail {
+			if t.fallthroughT != nil {
+				target = t.fallthroughT
+				break
+			}
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			target = b.labeledBlock(s.Label.Name).gotoTarget
+		}
+	}
+	if target == nil {
+		// Ill-formed program (e.g. break outside loop); treat the branch
+		// as terminating so the graph stays well-formed.
+		b.startUnreachable(s)
+		return
+	}
+	b.jump(target)
+	b.startUnreachable(s)
+}
+
+func (b *builder) ifStmt(label string, s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	then := b.newBlock(KindIfThen, s)
+	done := b.newBlock(KindIfDone, s)
+	els := done
+	if s.Else != nil {
+		els = b.newBlock(KindIfElse, s)
+	}
+	b.ifelse(then, els)
+
+	b.current = then
+	b.stmt(s.Body)
+	b.jump(done)
+
+	if s.Else != nil {
+		b.current = els
+		b.stmt(s.Else)
+		b.jump(done)
+	}
+	b.current = done
+	_ = label
+}
+
+func (b *builder) forStmt(label string, lb *lblock, s *ast.ForStmt) {
+	//	...init...
+	//	jump loop
+	// loop:
+	//	if cond goto body else done
+	// body:
+	//	...body...
+	//	jump post
+	// post:	(target of continue)
+	//	...post...
+	//	jump loop
+	// done:	(target of break)
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	loop := b.newBlock(KindForLoop, s)
+	body := b.newBlock(KindForBody, s)
+	done := b.newBlock(KindForDone, s)
+	post := loop
+	if s.Post != nil {
+		post = b.newBlock(KindForPost, s)
+	}
+	if lb != nil {
+		lb.breakTarget = done
+		lb.continueTgt = post
+	}
+
+	b.jump(loop)
+	b.current = loop
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.ifelse(body, done)
+	} else {
+		b.jump(body)
+	}
+
+	b.targets = &targets{tail: b.targets, breakLabel: label, breakTarget: done, continueTgt: post}
+	b.current = body
+	b.stmt(s.Body)
+	b.jump(post)
+	b.targets = b.targets.tail
+
+	if s.Post != nil {
+		b.current = post
+		b.stmt(s.Post)
+		b.jump(loop)
+	}
+	b.current = done
+}
+
+func (b *builder) rangeStmt(label string, lb *lblock, s *ast.RangeStmt) {
+	// The range statement itself lands in the loop-head block: a
+	// dataflow client sees the key/value bindings once per entry to the
+	// body. The head has two successors, body and done.
+	loop := b.newBlock(KindRangeLoop, s)
+	b.jump(loop)
+	b.current = loop
+	b.add(s)
+
+	body := b.newBlock(KindRangeBody, s)
+	done := b.newBlock(KindRangeDone, s)
+	if lb != nil {
+		lb.breakTarget = done
+		lb.continueTgt = loop
+	}
+	b.ifelse(body, done)
+
+	b.targets = &targets{tail: b.targets, breakLabel: label, breakTarget: done, continueTgt: loop}
+	b.current = body
+	b.stmt(s.Body)
+	b.jump(loop)
+	b.targets = b.targets.tail
+
+	b.current = done
+}
+
+func (b *builder) switchStmt(label string, lb *lblock, s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	done := b.newBlock(KindSwitchDone, s)
+	if lb != nil {
+		lb.breakTarget = done
+	}
+	b.switchBody(label, s.Body, done, func(cc *ast.CaseClause, blk *Block) {
+		// The case expressions are evaluated in the dispatch block.
+		for _, x := range cc.List {
+			b.add(x)
+		}
+	})
+	b.current = done
+}
+
+func (b *builder) typeSwitchStmt(label string, lb *lblock, s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	// The assign (x := y.(type), or a bare type-switch expression) is
+	// evaluated once in the dispatch block.
+	b.add(s.Assign)
+	done := b.newBlock(KindSwitchDone, s)
+	if lb != nil {
+		lb.breakTarget = done
+	}
+	b.switchBody(label, s.Body, done, func(cc *ast.CaseClause, blk *Block) {})
+	b.current = done
+}
+
+// switchBody wires the case clauses of a switch or type switch: the
+// dispatch block conditionally branches to every case body (and to done
+// when there is no default), bodies jump to done, and fallthrough edges
+// connect consecutive bodies.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, done *Block, caseExprs func(*ast.CaseClause, *Block)) {
+	dispatch := b.current
+	var clauses []*ast.CaseClause
+	for _, cc := range body.List {
+		clauses = append(clauses, cc.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock(KindSwitchCaseBody, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseExprs(cc, dispatch)
+		dispatch.Succs = append(dispatch.Succs, blocks[i])
+	}
+	if !hasDefault {
+		dispatch.Succs = append(dispatch.Succs, done)
+	}
+	for i, cc := range clauses {
+		var next *Block
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		} else {
+			next = done // fallthrough in last clause is ill-formed; be lenient
+		}
+		b.targets = &targets{tail: b.targets, breakLabel: label, breakTarget: done, fallthroughT: next}
+		b.current = blocks[i]
+		b.stmtList(cc.Body)
+		b.jump(done)
+		b.targets = b.targets.tail
+	}
+}
+
+func (b *builder) selectStmt(label string, lb *lblock, s *ast.SelectStmt) {
+	dispatch := b.current
+	done := b.newBlock(KindSelectDone, s)
+	if lb != nil {
+		lb.breakTarget = done
+	}
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		blk := b.newBlock(KindSelectCaseBody, cc)
+		dispatch.Succs = append(dispatch.Succs, blk)
+		b.targets = &targets{tail: b.targets, breakLabel: label, breakTarget: done}
+		b.current = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+		b.targets = b.targets.tail
+	}
+	if len(s.Body.List) == 0 {
+		// select{} blocks forever.
+		_ = dispatch
+	}
+	b.current = done
+}
+
+func astUnparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
